@@ -1,0 +1,23 @@
+//! Packet-simulator performance: events/second on a small dumbbell.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dessim::SimDuration;
+use netsim::config::{AppConfig, CcKind, DumbbellConfig};
+use netsim::run_dumbbell;
+
+fn bench(c: &mut Criterion) {
+    let mut c = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    let c = &mut c;
+    let cfg = DumbbellConfig {
+        bottleneck_bps: 50e6,
+        base_rtt: SimDuration::from_millis(20),
+        apps: vec![AppConfig::plain(CcKind::Reno); 4],
+        duration: SimDuration::from_secs(3),
+        warmup: SimDuration::from_secs(1),
+        ..Default::default()
+    };
+    c.bench_function("netsim_dumbbell_3s_4flows", |b| {
+        b.iter(|| run_dumbbell(&cfg).unwrap().events)
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

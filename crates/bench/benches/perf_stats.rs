@@ -1,0 +1,35 @@
+//! Statistics-kernel performance: the Appendix-B regression.
+use criterion::{criterion_group, criterion_main, Criterion};
+use expstats::ols::{DesignBuilder, Ols};
+use expstats::CovEstimator;
+
+fn bench(c: &mut Criterion) {
+    let mut c = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    let c = &mut c;
+    // 240 hourly cells, treatment + 23 hour dummies.
+    let n = 240;
+    let hours: Vec<usize> = (0..n).map(|i| i % 24).collect();
+    // Alternate the arm per day-block so it is not collinear with
+    // the hour dummies.
+    let arm: Vec<f64> = (0..n).map(|i| ((i / 24) % 2) as f64).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| 100.0 + (hours[i] as f64).sin() * 10.0 + arm[i] * 2.0 + (i as f64 * 0.7).sin())
+        .collect();
+    c.bench_function("ols_hour_fe_newey_west", |b| {
+        b.iter(|| {
+            let x = DesignBuilder::new()
+                .intercept(n)
+                .unwrap()
+                .column("arm", &arm)
+                .unwrap()
+                .dummies("hour", &hours)
+                .unwrap()
+                .build()
+                .unwrap();
+            let fit = Ols::fit(x, &y).unwrap();
+            fit.std_errors(CovEstimator::NeweyWest { lag: 2 }).unwrap()[1]
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

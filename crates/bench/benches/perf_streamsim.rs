@@ -1,0 +1,25 @@
+//! Fluid-simulator performance: one simulated day on a scaled link.
+use criterion::{criterion_group, criterion_main, Criterion};
+use streamsim::config::StreamConfig;
+use streamsim::scenario::AllocationSchedule;
+use streamsim::session::LinkId;
+use streamsim::sim::LinkSim;
+
+fn bench(c: &mut Criterion) {
+    let mut c = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    let c = &mut c;
+    let cfg = StreamConfig {
+        days: 1,
+        capacity_bps: 100e6,
+        peak_arrivals_per_s: 0.024,
+        ..Default::default()
+    };
+    c.bench_function("streamsim_one_day_small", |b| {
+        b.iter(|| {
+            let sim = LinkSim::new(cfg.clone(), LinkId::One, AllocationSchedule::Constant(0.5), 1);
+            sim.run().0.len()
+        })
+    });
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

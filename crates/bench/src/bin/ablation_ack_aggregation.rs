@@ -1,0 +1,32 @@
+//! Ablation: receiver ACK aggregation (GRO burst size) vs the pacing
+//! arm gap — the mechanism sweep behind the Figure 2b sign discussion.
+use expstats::table::Table;
+use netsim::config::{AppConfig, CcKind};
+use netsim::run_dumbbell;
+use repro_bench::{lab_config, mixed_apps};
+
+fn main() {
+    println!("Ablation: paced/unpaced throughput ratio vs ACK aggregation (5v5 Cubic)\n");
+    let mut t = Table::new(vec!["ack aggregation", "paced (M)", "unpaced (M)", "ratio"]);
+    for agg in [1u32, 2, 4, 8, 16, 32] {
+        let apps = mixed_apps(10, 5, |treated| AppConfig {
+            connections: 1,
+            cc: CcKind::Cubic,
+            paced: treated,
+            pacing_ca_factor: 1.2,
+        });
+        let mut cfg = lab_config(apps, 5);
+        cfg.ack_aggregation = agg;
+        let res = run_dumbbell(&cfg).unwrap();
+        let p: f64 = res.apps[..5].iter().map(|a| a.throughput_bps).sum::<f64>() / 5.0;
+        let u: f64 = res.apps[5..].iter().map(|a| a.throughput_bps).sum::<f64>() / 5.0;
+        t.row(vec![
+            format!("{agg}"),
+            format!("{:.1}", p / 1e6),
+            format!("{:.1}", u / 1e6),
+            format!("{:.2}", p / u),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(the paper's -50% paced deficit does not re-emerge at any burst size\n with SACK/RACK recovery; see EXPERIMENTS.md for the full discussion)");
+}

@@ -1,0 +1,39 @@
+//! Ablation: the BBR/Cubic coexistence regime vs bottleneck buffer depth
+//! (the Figure 3 parameter choice documented in EXPERIMENTS.md).
+use expstats::table::Table;
+use netsim::config::{AppConfig, CcKind};
+use netsim::run_dumbbell;
+use repro_bench::{lab_config, mixed_apps};
+
+fn main() {
+    println!("Ablation: minority-arm advantage vs buffer depth (10 flows)\n");
+    let mut t = Table::new(vec![
+        "buffer (BDP)", "1 BBR vs 9 Cubic", "1 Cubic vs 9 BBR", "all-BBR util",
+    ]);
+    for buf in [0.5, 1.0, 2.0, 4.0] {
+        let run = |k: usize, seed: u64| {
+            let apps = mixed_apps(10, k, |treated| {
+                AppConfig::plain(if treated { CcKind::Bbr } else { CcKind::Cubic })
+            });
+            let mut cfg = lab_config(apps, seed);
+            cfg.buffer_bdp = buf;
+            run_dumbbell(&cfg).unwrap()
+        };
+        let r1 = run(1, 3);
+        let bbr1 = r1.apps[0].throughput_bps;
+        let cubic9: f64 = r1.apps[1..].iter().map(|a| a.throughput_bps).sum::<f64>() / 9.0;
+        let r9 = run(9, 3);
+        let bbr9: f64 = r9.apps[..9].iter().map(|a| a.throughput_bps).sum::<f64>() / 9.0;
+        let cubic1 = r9.apps[9].throughput_bps;
+        let rall = run(10, 3);
+        let util = rall.total_throughput_bps() / 200e6;
+        t.row(vec![
+            format!("{buf}"),
+            format!("{:+.0}%", 100.0 * (bbr1 / cubic9 - 1.0)),
+            format!("{:+.0}%", 100.0 * (cubic1 / bbr9 - 1.0)),
+            format!("{:.2}", util),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(both minority columns positive = the paper's Figure 3 regime)");
+}

@@ -1,0 +1,31 @@
+//! Figure 11: throughput time series of the emulated event study
+//! (95% capping deployed between Thursday and Friday).
+use streamsim::session::{LinkId, Metric, SessionRecord};
+use unbiased::dataset::Dataset;
+use unbiased::report::render_time_series;
+
+fn main() {
+    let out = repro_bench::main_experiment(0.35, 5, 202).run();
+    let switch_day = 2;
+    let mut series = Vec::new();
+    for day in 0..5 {
+        let recs: Vec<&SessionRecord> = if day < switch_day {
+            out.data.filter(|r| r.link == LinkId::Two && !r.treated && r.day == day)
+        } else {
+            out.data.filter(|r| r.link == LinkId::One && r.treated && r.day == day)
+        };
+        let cells = Dataset::hourly_means(&recs, Metric::Throughput);
+        for (_, h, v) in cells {
+            series.push((day * 24 + h, v));
+        }
+    }
+    let max = series.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+    let vals: Vec<f64> = series.iter().map(|&(_, v)| v / max).collect();
+    println!(
+        "{}",
+        render_time_series(
+            "Figure 11: event study (uncapped Wed-Thu, 95% capped Fri-Sun), normalized hourly throughput",
+            &[("throughput".into(), vals)],
+        )
+    );
+}

@@ -1,0 +1,28 @@
+//! §2 "Note on averages": quantile treatment effects from the paired
+//! experiment — the median and tail analogues of Figure 5.
+use streamsim::session::Metric;
+use unbiased::quantiles::paired_link_quantile_effects;
+use expstats::table::{pct, pct_ci, Table};
+
+fn main() {
+    let out = repro_bench::main_experiment(0.35, 5, 202).run();
+    println!("Quantile treatment effects ({} sessions)\n", out.data.len());
+    for metric in [Metric::Throughput, Metric::MinRtt, Metric::PlayDelay] {
+        let mut t = Table::new(vec!["quantile", "naive 5%", "naive 95%", "TTE", "spillover"]);
+        for q in [0.5, 0.9, 0.99] {
+            match paired_link_quantile_effects(&out.data, metric, q, 99) {
+                Ok(e) => {
+                    t.row(vec![
+                        format!("p{:02.0}", q * 100.0),
+                        pct(e.naive_lo.relative),
+                        pct(e.naive_hi.relative),
+                        format!("{} {}", pct(e.tte.relative), pct_ci(e.tte.ci95)),
+                        pct(e.spillover.relative),
+                    ]);
+                }
+                Err(err) => eprintln!("{}: {err}", metric.name()),
+            }
+        }
+        println!("{} quantile effects:\n{}", metric.name(), t.render());
+    }
+}

@@ -1,0 +1,30 @@
+//! §5.1: a gradual deployment instrumented as an event-study sequence —
+//! per-stage naive ATEs plus the interference diagnostics.
+use streamsim::session::Metric;
+use unbiased::designs::GradualDeployment;
+use expstats::table::{pct, pct_ci, Table};
+
+fn main() {
+    let mut cfg = repro_bench::paired_config(0.35, 6);
+    cfg.days = 6;
+    let dep = GradualDeployment {
+        cfg,
+        stages: vec![0.02, 0.10, 0.30, 0.50, 0.75, 0.95],
+        seed: 777,
+    };
+    for metric in [Metric::Throughput, Metric::Bitrate] {
+        let (stages, report) = dep.run_and_diagnose(metric).expect("estimable");
+        println!("Gradual deployment — {}\n", metric.name());
+        let mut t = Table::new(vec!["allocation", "within-stage ATE", "95% CI"]);
+        for s in &stages {
+            t.row(vec![format!("{:.0}%", s.allocation * 100.0), pct(s.ate.relative), pct_ci(s.ate.ci95)]);
+        }
+        println!("{}", t.render());
+        println!(
+            "interference detected: {} (trend p = {:.4})\n",
+            report.interference_detected(),
+            report.trend.as_ref().map_or(f64::NAN, |tr| tr.p_value)
+        );
+    }
+    println!("(§5.1: a sloped ATE-vs-allocation curve is the interference signature)");
+}

@@ -1,0 +1,117 @@
+//! Shared scenario configurations for the figure/table regeneration
+//! binaries (`src/bin/fig*.rs`) and the Criterion performance benches.
+//!
+//! Scaling note: the lab figures run the packet simulator at 200 Mb/s
+//! (instead of 10 Gb/s) and the streaming figures run the fluid simulator
+//! at 1 Gb/s over 5 days (instead of 100 Gb/s); EXPERIMENTS.md records
+//! the correspondence. Shapes, not absolute magnitudes, are the
+//! reproduction target.
+
+use dessim::SimDuration;
+use netsim::config::{AppConfig, CcKind, DumbbellConfig};
+use streamsim::config::StreamConfig;
+use unbiased::designs::PairedLinkDesign;
+
+/// Lab dumbbell shared by the §3 figures: 200 Mb/s, 20 ms RTT, ten
+/// applications.
+pub fn lab_config(apps: Vec<AppConfig>, seed: u64) -> DumbbellConfig {
+    DumbbellConfig {
+        bottleneck_bps: 200e6,
+        base_rtt: SimDuration::from_millis(20),
+        buffer_bdp: 1.0,
+        mss_bytes: 1500,
+        apps,
+        duration: SimDuration::from_secs(30),
+        warmup: SimDuration::from_secs(10),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// `n` single-connection apps, the first `k` with the given marker
+/// toggled via the closure.
+pub fn mixed_apps(n: usize, k: usize, make: impl Fn(bool) -> AppConfig) -> Vec<AppConfig> {
+    (0..n).map(|i| make(i < k)).collect()
+}
+
+/// A plain unpaced app of the given CC.
+pub fn plain(cc: CcKind) -> AppConfig {
+    AppConfig::plain(cc)
+}
+
+/// Streaming world for the §4/§5 figures. `scale` shrinks capacity and
+/// arrivals together (1.0 = the full 5-day, 1 Gb/s run; the binaries
+/// default to 0.35 for minute-scale runtimes).
+pub fn paired_config(scale: f64, days: usize) -> StreamConfig {
+    StreamConfig {
+        days,
+        capacity_bps: 1e9 * scale,
+        peak_arrivals_per_s: 0.24 * scale,
+        ..Default::default()
+    }
+}
+
+/// The paper's main experiment (95%/5% paired links).
+pub fn main_experiment(scale: f64, days: usize, seed: u64) -> PairedLinkDesign {
+    PairedLinkDesign::paper(paired_config(scale, days), seed)
+}
+
+/// The metric set reported in the Figure 5 table.
+pub fn figure5_metrics() -> Vec<streamsim::session::Metric> {
+    use streamsim::session::Metric;
+    vec![
+        Metric::Throughput,
+        Metric::MinRtt,
+        Metric::PlayDelay,
+        Metric::Bitrate,
+        Metric::Quality,
+        Metric::RebufferSessions,
+        Metric::CancelledStarts,
+        Metric::RetxFraction,
+    ]
+}
+
+/// Normalize a series to its maximum (the paper's time-series plots are
+/// "normalized to the largest hourly average").
+pub fn normalize_to_max(xs: &[f64]) -> Vec<f64> {
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    if max <= 0.0 {
+        return xs.to_vec();
+    }
+    xs.iter().map(|x| x / max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_config_valid() {
+        let cfg = lab_config(vec![plain(CcKind::Reno); 10], 1);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.total_flows(), 10);
+    }
+
+    #[test]
+    fn paired_config_valid() {
+        assert!(paired_config(0.35, 5).validate().is_ok());
+    }
+
+    #[test]
+    fn normalize_caps_at_one() {
+        let n = normalize_to_max(&[1.0, 4.0, 2.0]);
+        assert_eq!(n, vec![0.25, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn mixed_apps_counts() {
+        let apps = mixed_apps(10, 3, |t| {
+            if t {
+                AppConfig { connections: 2, cc: CcKind::Reno, paced: false, pacing_ca_factor: 1.2 }
+            } else {
+                plain(CcKind::Reno)
+            }
+        });
+        assert_eq!(apps.iter().filter(|a| a.connections == 2).count(), 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! The estimands of §2, computed exactly from cell means.
+//!
+//! An *estimand* is the population quantity an experiment targets; an
+//! *estimator* (see [`crate::estimators`]) is the statistic computed from
+//! observed data. This module holds the bookkeeping that turns the four
+//! observable cell means of a paired experiment into the paper's
+//! quantities of interest.
+
+/// Which experimental arm a unit belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WhichArm {
+    /// Runs the new algorithm.
+    Treatment,
+    /// Runs the existing algorithm.
+    Control,
+}
+
+/// The four estimands of §2 evaluated from the mean-outcome function
+/// `μ_arm(p)` of an experiment with allocation `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimands {
+    /// `μ_T(p_hi)`: treated mean in the high-allocation condition.
+    pub mu_t_hi: f64,
+    /// `μ_C(p_hi)`: control mean in the high-allocation condition.
+    pub mu_c_hi: f64,
+    /// `μ_T(p_lo)`: treated mean in the low-allocation condition.
+    pub mu_t_lo: f64,
+    /// `μ_C(p_lo)`: control mean in the low-allocation condition.
+    pub mu_c_lo: f64,
+}
+
+impl Estimands {
+    /// Average treatment effect at the high allocation:
+    /// `τ(p_hi) = μ_T(p_hi) − μ_C(p_hi)`.
+    pub fn ate_hi(&self) -> f64 {
+        self.mu_t_hi - self.mu_c_hi
+    }
+
+    /// Average treatment effect at the low allocation.
+    pub fn ate_lo(&self) -> f64 {
+        self.mu_t_lo - self.mu_c_lo
+    }
+
+    /// Approximate total treatment effect, as in the paired-link design:
+    /// treated mean when almost everything is treated minus control mean
+    /// when almost everything is control,
+    /// `TTE ≈ μ_T(p_hi) − μ_C(p_lo)`.
+    pub fn tte(&self) -> f64 {
+        self.mu_t_hi - self.mu_c_lo
+    }
+
+    /// Spillover of a high allocation on control units:
+    /// `s(p_hi) = μ_C(p_hi) − μ_C(p_lo)` (≈ `μ_C(p_hi) − μ_C(0)`).
+    pub fn spillover(&self) -> f64 {
+        self.mu_c_hi - self.mu_c_lo
+    }
+
+    /// Partial treatment effect `ρ(p_hi) = μ_T(p_hi) − μ_C(p_lo)` — note
+    /// this coincides with the approximate TTE in a two-cell design.
+    pub fn partial_hi(&self) -> f64 {
+        self.tte()
+    }
+
+    /// Express every estimand relative to a baseline (the paper divides
+    /// by the global-control mean `μ_C(p_lo)`).
+    pub fn relative_to_global_control(&self) -> RelativeEstimands {
+        let b = self.mu_c_lo;
+        RelativeEstimands {
+            ate_hi: self.ate_hi() / b,
+            ate_lo: self.ate_lo() / b,
+            tte: self.tte() / b,
+            spillover: self.spillover() / b,
+        }
+    }
+}
+
+/// Estimands normalized by the global control mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeEstimands {
+    /// Relative ATE at the high allocation.
+    pub ate_hi: f64,
+    /// Relative ATE at the low allocation.
+    pub ate_lo: f64,
+    /// Relative total treatment effect.
+    pub tte: f64,
+    /// Relative spillover.
+    pub spillover: f64,
+}
+
+impl RelativeEstimands {
+    /// Do the naïve A/B estimates and the TTE disagree in *sign*?
+    /// (the paper's "smoking gun": naïve tests said throughput −5%, the
+    /// TTE said +12%).
+    pub fn sign_flip(&self) -> bool {
+        let naive = 0.5 * (self.ate_hi + self.ate_lo);
+        naive.signum() != self.tte.signum() && naive.abs() > 1e-12 && self.tte.abs() > 1e-12
+    }
+
+    /// Magnitude of the naïve bias: `mean(τ̂) − TTE` in relative units.
+    pub fn naive_bias(&self) -> f64 {
+        0.5 * (self.ate_hi + self.ate_lo) - self.tte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_throughput_like() -> Estimands {
+        // Shaped like the paper's Figure 7: both A/B tests say capped
+        // traffic is ~5% slower, but capping the majority raised both
+        // cell means on that link.
+        Estimands { mu_t_hi: 1.12, mu_c_hi: 1.16, mu_t_lo: 0.95, mu_c_lo: 1.00 }
+    }
+
+    #[test]
+    fn ates_are_within_cell_contrasts() {
+        let e = paper_throughput_like();
+        assert!((e.ate_hi() - (1.12 - 1.16)).abs() < 1e-12);
+        assert!((e.ate_lo() - (0.95 - 1.00)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tte_crosses_cells() {
+        let e = paper_throughput_like();
+        assert!((e.tte() - 0.12).abs() < 1e-12);
+        assert!((e.spillover() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_normalization() {
+        let e = Estimands { mu_t_hi: 224.0, mu_c_hi: 232.0, mu_t_lo: 190.0, mu_c_lo: 200.0 };
+        let r = e.relative_to_global_control();
+        assert!((r.tte - 0.12).abs() < 1e-12);
+        assert!((r.spillover - 0.16).abs() < 1e-12);
+        assert!((r.ate_hi - (-0.04)).abs() < 1e-12);
+        assert!((r.ate_lo - (-0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_flip_detected() {
+        let r = paper_throughput_like().relative_to_global_control();
+        assert!(r.sign_flip(), "naive says negative, TTE positive");
+        assert!(r.naive_bias() < 0.0);
+    }
+
+    #[test]
+    fn no_sign_flip_when_consistent() {
+        let e = Estimands { mu_t_hi: 1.2, mu_c_hi: 1.0, mu_t_lo: 1.1, mu_c_lo: 1.0 };
+        assert!(!e.relative_to_global_control().sign_flip());
+    }
+}

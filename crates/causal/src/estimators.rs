@@ -1,0 +1,144 @@
+//! Estimators: statistics computed from one realized experiment.
+
+use crate::assignment::Assignment;
+use expstats::{diff_in_means, DiffEstimate, Result, StatsError};
+
+/// The naïve A/B estimator `τ̂(p) = μ̂_T(p) − μ̂_C(p)`: difference in
+/// means between treated and control units, with a Welch confidence
+/// interval at `level`.
+///
+/// This estimator is unbiased for `τ(p)` — the paper's point is that
+/// `τ(p)` itself is a misleading proxy for the TTE under interference,
+/// not that the estimator is computed wrongly.
+pub fn naive_ab(outcomes: &[f64], assignment: &Assignment, level: f64) -> Result<DiffEstimate> {
+    if outcomes.len() != assignment.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: "naive_ab: outcomes and assignment lengths differ",
+        });
+    }
+    let treated: Vec<f64> =
+        assignment.treated().into_iter().map(|i| outcomes[i]).collect();
+    let control: Vec<f64> =
+        assignment.control().into_iter().map(|i| outcomes[i]).collect();
+    diff_in_means(&treated, &control, level)
+}
+
+/// Mean outcome of each arm: `(μ̂_T, μ̂_C)`.
+pub fn arm_means(outcomes: &[f64], assignment: &Assignment) -> Result<(f64, f64)> {
+    if outcomes.len() != assignment.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: "arm_means: outcomes and assignment lengths differ",
+        });
+    }
+    let t = assignment.treated();
+    let c = assignment.control();
+    if t.is_empty() || c.is_empty() {
+        return Err(StatsError::TooFewObservations { got: t.len().min(c.len()), need: 1 });
+    }
+    let mt = t.iter().map(|&i| outcomes[i]).sum::<f64>() / t.len() as f64;
+    let mc = c.iter().map(|&i| outcomes[i]).sum::<f64>() / c.len() as f64;
+    Ok((mt, mc))
+}
+
+/// Difference in means between two independent samples measured in two
+/// different cells (e.g. treated sessions on link 1 vs control sessions
+/// on link 2) — the cross-cell estimator used for TTE and spillover in
+/// the paired design, at the unit level.
+pub fn cross_cell_diff(
+    cell_a: &[f64],
+    cell_b: &[f64],
+    level: f64,
+) -> Result<DiffEstimate> {
+    diff_in_means(cell_a, cell_b, level)
+}
+
+/// Convert an absolute estimate into one relative to a baseline mean
+/// (the paper normalizes by the global control mean).
+pub fn relative(estimate: &DiffEstimate, baseline: f64) -> Result<DiffEstimate> {
+    if baseline == 0.0 || !baseline.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "relative: baseline must be finite and non-zero",
+        });
+    }
+    Ok(estimate.scaled(1.0 / baseline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::{FairShare, LinearInterference, NoInterference, PotentialOutcomes};
+
+    fn realize(model: &impl PotentialOutcomes, assignment: &Assignment) -> Vec<f64> {
+        (0..model.n()).map(|i| model.outcome(i, assignment)).collect()
+    }
+
+    #[test]
+    fn naive_ab_unbiased_without_interference() {
+        // Average the estimator over many assignments: must converge to
+        // the true effect when SUTVA holds.
+        let baselines: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let model = NoInterference { baselines, effect: 2.5 };
+        let mut sum = 0.0;
+        let reps = 300;
+        for seed in 0..reps {
+            let a = Assignment::bernoulli(model.n(), 0.3, seed);
+            let y = realize(&model, &a);
+            sum += naive_ab(&y, &a, 0.95).unwrap().estimate;
+        }
+        let avg = sum / reps as f64;
+        assert!((avg - 2.5).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn naive_ab_biased_for_tte_under_fair_share() {
+        // FairShare: true TTE = 0, but the A/B estimate is ~+100% of the
+        // control mean at every allocation.
+        let model = FairShare { n: 100, capacity: 100.0, weight_treated: 2.0, weight_control: 1.0 };
+        let a = Assignment::complete(100, 10, 7);
+        let y = realize(&model, &a);
+        let est = naive_ab(&y, &a, 0.95).unwrap();
+        let (_, mc) = arm_means(&y, &a).unwrap();
+        let rel = est.estimate / mc;
+        assert!((rel - 1.0).abs() < 1e-9, "A/B sees +100%: {rel}");
+        assert!(model.true_tte().abs() < 1e-9, "but the truth is zero");
+    }
+
+    #[test]
+    fn cross_cell_estimator_recovers_linear_tte() {
+        // Two cells at p=0.95 and p=0.05 recover TTE ≈ μT(0.95) − μC(0.05).
+        let model = LinearInterference {
+            n: 2000,
+            t_intercept: 10.0,
+            t_slope: 2.0,
+            c_intercept: 9.0,
+            c_slope: 1.5,
+            heterogeneity: 0.25,
+        };
+        let hi = Assignment::complete(model.n(), 1900, 1);
+        let lo = Assignment::complete(model.n(), 100, 2);
+        let y_hi = realize(&model, &hi);
+        let y_lo = realize(&model, &lo);
+        let treated_hi: Vec<f64> = hi.treated().into_iter().map(|i| y_hi[i]).collect();
+        let control_lo: Vec<f64> = lo.control().into_iter().map(|i| y_lo[i]).collect();
+        let est = cross_cell_diff(&treated_hi, &control_lo, 0.95).unwrap();
+        let approx_true = model.mu_t(0.95) - model.mu_c(0.05);
+        assert!((est.estimate - approx_true).abs() < 0.05, "{} vs {approx_true}", est.estimate);
+    }
+
+    #[test]
+    fn relative_scales_interval() {
+        let d = DiffEstimate { estimate: 5.0, se: 1.0, ci: (3.0, 7.0), dof: 10.0 };
+        let r = relative(&d, 50.0).unwrap();
+        assert!((r.estimate - 0.1).abs() < 1e-12);
+        assert!((r.ci.0 - 0.06).abs() < 1e-12);
+        assert!(relative(&d, 0.0).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        let a = Assignment::bernoulli(10, 0.5, 1);
+        assert!(naive_ab(&[1.0; 9], &a, 0.95).is_err());
+        let all_t = Assignment::from_vec(vec![true; 10]);
+        assert!(arm_means(&[1.0; 10], &all_t).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Potential-outcome models with closed-form interference.
+//!
+//! These models give *exact* ground truth for every estimand, so
+//! estimators and experiment designs can be verified analytically. The
+//! congestion models mirror the mechanisms of the paper's lab tests:
+//! fair-share bandwidth splitting explains the parallel-connections
+//! result (§3.1) exactly.
+
+use crate::assignment::Assignment;
+
+/// A joint model of potential outcomes `Y_i(A)` for `n` units.
+pub trait PotentialOutcomes {
+    /// Number of units.
+    fn n(&self) -> usize;
+
+    /// Outcome of unit `i` under the full assignment vector
+    /// (interference is allowed: the outcome may depend on every entry).
+    fn outcome(&self, unit: usize, assignment: &Assignment) -> f64;
+
+    /// Average outcome over treated units (`NaN` if none).
+    fn mean_treated(&self, assignment: &Assignment) -> f64 {
+        let t = assignment.treated();
+        if t.is_empty() {
+            return f64::NAN;
+        }
+        t.iter().map(|&i| self.outcome(i, assignment)).sum::<f64>() / t.len() as f64
+    }
+
+    /// Average outcome over control units (`NaN` if none).
+    fn mean_control(&self, assignment: &Assignment) -> f64 {
+        let c = assignment.control();
+        if c.is_empty() {
+            return f64::NAN;
+        }
+        c.iter().map(|&i| self.outcome(i, assignment)).sum::<f64>() / c.len() as f64
+    }
+
+    /// The true total treatment effect `μ_T(1) − μ_C(0)` (exact: computed
+    /// from the all-treated and all-control assignments).
+    fn true_tte(&self) -> f64 {
+        let all_t = Assignment::from_vec(vec![true; self.n()]);
+        let all_c = Assignment::from_vec(vec![false; self.n()]);
+        self.mean_treated(&all_t) - self.mean_control(&all_c)
+    }
+}
+
+/// No interference: `Y_i(A) = baseline_i + effect · A_i` (SUTVA holds).
+///
+/// Under this model a naïve A/B test is unbiased for the TTE — the
+/// assumption Figure 1a depicts.
+#[derive(Debug, Clone)]
+pub struct NoInterference {
+    /// Per-unit baseline outcomes.
+    pub baselines: Vec<f64>,
+    /// Constant additive treatment effect.
+    pub effect: f64,
+}
+
+impl PotentialOutcomes for NoInterference {
+    fn n(&self) -> usize {
+        self.baselines.len()
+    }
+
+    fn outcome(&self, unit: usize, assignment: &Assignment) -> f64 {
+        self.baselines[unit] + if assignment.arm(unit) { self.effect } else { 0.0 }
+    }
+}
+
+/// Fair-share congestion: `n` units split capacity `C` in proportion to
+/// their weights; treatment changes a unit's weight.
+///
+/// With `weight_treated = 2`, `weight_control = 1` this is *exactly* the
+/// parallel-connections experiment of §3.1: an application opening two
+/// TCP connections gets twice the fair share, but the link capacity is
+/// unchanged, so `TTE(throughput) = 0` while every A/B test shows +100%.
+#[derive(Debug, Clone)]
+pub struct FairShare {
+    /// Number of units sharing the link.
+    pub n: usize,
+    /// Link capacity (same outcome units as the metric, e.g. bit/s).
+    pub capacity: f64,
+    /// Weight of a treated unit.
+    pub weight_treated: f64,
+    /// Weight of a control unit.
+    pub weight_control: f64,
+}
+
+impl FairShare {
+    fn total_weight(&self, assignment: &Assignment) -> f64 {
+        let t = assignment.treated_count() as f64;
+        let c = (self.n - assignment.treated_count()) as f64;
+        t * self.weight_treated + c * self.weight_control
+    }
+}
+
+impl PotentialOutcomes for FairShare {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn outcome(&self, unit: usize, assignment: &Assignment) -> f64 {
+        let w = if assignment.arm(unit) { self.weight_treated } else { self.weight_control };
+        self.capacity * w / self.total_weight(assignment)
+    }
+}
+
+/// Congestion-cost model: every unit pays a cost that grows with the
+/// total "aggressiveness" on the link. Models the retransmission-rate
+/// side of §3.1: more connections ⇒ more drops *for everyone*.
+///
+/// `Y_i(A) = base · (total_weight / n)^gamma`, identical for both arms —
+/// an outcome with pure spillover and zero within-test contrast.
+#[derive(Debug, Clone)]
+pub struct CongestionCost {
+    /// Number of units.
+    pub n: usize,
+    /// Cost when everyone runs the control behaviour.
+    pub base: f64,
+    /// Weight of a treated unit.
+    pub weight_treated: f64,
+    /// Weight of a control unit.
+    pub weight_control: f64,
+    /// Cost growth exponent.
+    pub gamma: f64,
+}
+
+impl PotentialOutcomes for CongestionCost {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn outcome(&self, _unit: usize, assignment: &Assignment) -> f64 {
+        let t = assignment.treated_count() as f64;
+        let c = (self.n - assignment.treated_count()) as f64;
+        let total = t * self.weight_treated + c * self.weight_control;
+        let per_capita = total / (self.n as f64 * self.weight_control);
+        self.base * per_capita.powf(self.gamma)
+    }
+}
+
+/// Linear-in-allocation outcomes: `μ_T(p)` and `μ_C(p)` are straight
+/// lines in the treated fraction `p`, plus deterministic per-unit
+/// heterogeneity. The general shape of Figure 1b.
+#[derive(Debug, Clone)]
+pub struct LinearInterference {
+    /// Number of units.
+    pub n: usize,
+    /// Treated mean at `p = 0`.
+    pub t_intercept: f64,
+    /// Slope of the treated mean in `p`.
+    pub t_slope: f64,
+    /// Control mean at `p = 0`.
+    pub c_intercept: f64,
+    /// Slope of the control mean in `p`.
+    pub c_slope: f64,
+    /// Amplitude of deterministic unit heterogeneity (mean zero).
+    pub heterogeneity: f64,
+}
+
+impl LinearInterference {
+    fn unit_offset(&self, unit: usize) -> f64 {
+        // Deterministic mean-zero offsets (alternating), so estimand
+        // values stay exact.
+        if unit.is_multiple_of(2) {
+            self.heterogeneity
+        } else {
+            -self.heterogeneity
+        }
+    }
+
+    /// True treated mean at allocation `p`.
+    pub fn mu_t(&self, p: f64) -> f64 {
+        self.t_intercept + self.t_slope * p
+    }
+
+    /// True control mean at allocation `p`.
+    pub fn mu_c(&self, p: f64) -> f64 {
+        self.c_intercept + self.c_slope * p
+    }
+}
+
+impl PotentialOutcomes for LinearInterference {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn outcome(&self, unit: usize, assignment: &Assignment) -> f64 {
+        let p = assignment.treated_fraction();
+        let base = if assignment.arm(unit) { self.mu_t(p) } else { self.mu_c(p) };
+        base + self.unit_offset(unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interference_tte_equals_effect() {
+        let m = NoInterference { baselines: vec![1.0, 2.0, 3.0, 4.0], effect: 0.5 };
+        assert!((m.true_tte() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fair_share_reproduces_parallel_connections_math() {
+        // 10 apps, capacity C: with k treated (2 connections each),
+        // treated get 2C/(10+k), control get C/(10+k).
+        let m = FairShare { n: 10, capacity: 10.0, weight_treated: 2.0, weight_control: 1.0 };
+        for k in 1..10 {
+            let mut arms = vec![false; 10];
+            for a in arms.iter_mut().take(k) {
+                *a = true;
+            }
+            let assign = Assignment::from_vec(arms);
+            let t = m.mean_treated(&assign);
+            let c = m.mean_control(&assign);
+            let denom = 10.0 + k as f64;
+            assert!((t - 20.0 / denom).abs() < 1e-12, "k={k}");
+            assert!((c - 10.0 / denom).abs() < 1e-12, "k={k}");
+            // The A/B contrast is +100% at every allocation...
+            assert!((t / c - 2.0).abs() < 1e-12);
+        }
+        // ...but the total treatment effect is zero.
+        assert!(m.true_tte().abs() < 1e-12);
+    }
+
+    #[test]
+    fn fair_share_spillover_is_negative() {
+        // Treating 9 of 10 units lowers the control unit's share by 9/19
+        // relative to the all-control world: 10/19 vs 1 per unit.
+        let m = FairShare { n: 10, capacity: 10.0, weight_treated: 2.0, weight_control: 1.0 };
+        let mut arms = vec![true; 10];
+        arms[9] = false;
+        let assign = Assignment::from_vec(arms);
+        let spill = m.mean_control(&assign) - 1.0;
+        assert!((spill - (10.0 / 19.0 - 1.0)).abs() < 1e-12);
+        assert!(spill < 0.0);
+    }
+
+    #[test]
+    fn congestion_cost_identical_across_arms() {
+        let m = CongestionCost {
+            n: 10,
+            base: 0.01,
+            weight_treated: 2.0,
+            weight_control: 1.0,
+            gamma: 1.585,
+        };
+        let assign = Assignment::bernoulli(10, 0.5, 3);
+        if assign.treated_count() > 0 && assign.treated_count() < 10 {
+            let t = m.mean_treated(&assign);
+            let c = m.mean_control(&assign);
+            assert!((t - c).abs() < 1e-12, "cost is shared equally");
+        }
+        // TTE is large: (2)^1.585 ≈ 3 → +200%.
+        let tte_rel = m.true_tte() / 0.01;
+        assert!((tte_rel - 2.0).abs() < 0.01, "tte_rel {tte_rel}");
+    }
+
+    #[test]
+    fn linear_interference_means_exact() {
+        let m = LinearInterference {
+            n: 100,
+            t_intercept: 10.0,
+            t_slope: -2.0,
+            c_intercept: 8.0,
+            c_slope: 3.0,
+            heterogeneity: 0.5,
+        };
+        let assign = Assignment::from_vec(
+            (0..100).map(|i| i < 40).collect(), // p = 0.4
+        );
+        // Unit offsets alternate ±0.5 and cancel within large arms.
+        let t = m.mean_treated(&assign);
+        let c = m.mean_control(&assign);
+        assert!((t - m.mu_t(0.4)).abs() < 0.03, "t {t}");
+        assert!((c - m.mu_c(0.4)).abs() < 0.03, "c {c}");
+        // TTE = μT(1) − μC(0) = 8 − 8 = 0 despite large A/B contrasts.
+        assert!(m.true_tte().abs() < 1e-9);
+    }
+
+    #[test]
+    fn true_tte_uses_full_allocations() {
+        let m = LinearInterference {
+            n: 10,
+            t_intercept: 5.0,
+            t_slope: 1.0,
+            c_intercept: 2.0,
+            c_slope: 0.0,
+            heterogeneity: 0.0,
+        };
+        assert!((m.true_tte() - 4.0).abs() < 1e-12); // (5+1) - 2
+    }
+}

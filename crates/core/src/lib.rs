@@ -1,0 +1,33 @@
+//! **unbiased** — experiment designs for congested networks.
+//!
+//! The primary contribution of *Unbiased Experiments in Congested
+//! Networks* (IMC '21) as a reusable library:
+//!
+//! * the Appendix-B analysis pipeline — hourly aggregation `Z_t(A)`,
+//!   OLS with hour-of-day fixed effects, Newey–West (lag 2) robust
+//!   standard errors, normalization by the global control mean —
+//!   in [`analysis`];
+//! * experiment designs in [`designs`]: naïve A/B tests, the
+//!   **paired-link** design of §4 (simultaneous 95%/5% tests on twin
+//!   links, yielding naïve estimates, approximate TTE and spillover),
+//!   **switchback** experiments and **event studies** (§5), and
+//!   **gradual deployments** instrumented for interference detection;
+//! * A/A calibration and false-positive scans in
+//!   `aa_scan`-style helpers (see [`designs`]);
+//! * report rendering for every table/figure of the paper in [`report`].
+//!
+//! The designs run against the `streamsim` paired-link world (and the
+//! emulation helpers reuse paired-link data exactly as §5.3 does), while
+//! the estimators come from `causal`/`expstats`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dataset;
+pub mod designs;
+pub mod quantiles;
+pub mod report;
+
+pub use analysis::{hourly_effect, unit_effect, EffectEstimate};
+pub use dataset::Dataset;

@@ -1,0 +1,29 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Everything in this workspace that "runs over time" — the packet-level
+//! network simulator (`netsim`) and the fluid streaming simulator
+//! (`streamsim`) — is driven by this kernel. Design goals, in order:
+//!
+//! 1. **Determinism.** Identical seeds and configurations produce
+//!    bit-identical event orderings. Ties in event time are broken by
+//!    insertion order (FIFO), never by heap internals.
+//! 2. **Simplicity.** A virtual clock, a binary-heap event queue and a
+//!    `Model::handle` callback. No async runtime: simulation is CPU-bound,
+//!    and the networking guides are explicit that async buys nothing for
+//!    CPU-bound work.
+//! 3. **Explicit randomness.** Components draw from [`rng::SimRng`]
+//!    streams forked from a root seed, so adding a component never
+//!    perturbs the draws seen by others.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use sim::{Model, Scheduler, Simulation};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,162 @@
+//! Seeded random-number streams for simulation components.
+//!
+//! Each component forks its own [`SimRng`] from a root seed, so
+//! adding/removing a component never shifts the random draws any other
+//! component sees — a prerequisite for meaningful A/B comparisons between
+//! simulation runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// Wraps a fast non-cryptographic generator and layers on the
+/// distributions the simulators need (exponential, normal, Pareto —
+/// implemented here rather than pulling in `rand_distr`).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Fork an independent child stream (reproducibly derived from this
+    /// stream's state).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen::<u64>())
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform: lo must not exceed hi");
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below: bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0,1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform01() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential with the given rate (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0, "exponential: rate must be positive");
+        // Inverse transform; 1-U avoids ln(0).
+        -(1.0 - self.uniform01()).ln() / rate
+    }
+
+    /// Standard normal via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.uniform01(); // (0,1]
+        let u2: f64 = self.uniform01();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        debug_assert!(sd >= 0.0, "normal: sd must be non-negative");
+        mean + sd * self.standard_normal()
+    }
+
+    /// Log-normal: `exp(N(mu, sigma))` (parameters on the log scale).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto with scale `x_min > 0` and shape `alpha > 0` (heavy-tailed
+    /// file sizes / session durations).
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        debug_assert!(x_min > 0.0 && alpha > 0.0, "pareto: invalid parameters");
+        x_min / (1.0 - self.uniform01()).powf(1.0 / alpha)
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_do_not_collide() {
+        let mut root = SimRng::new(1);
+        let mut c1 = root.fork();
+        let mut c2 = root.fork();
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = SimRng::new(7);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(9);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.bernoulli(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::new(13);
+        for _ in 0..10_000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            let x = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Two-sample inference: the unit-level analysis used for naïve A/B test
+//! estimates (difference in means with Welch standard errors).
+
+use crate::describe::{mean, variance};
+use crate::dist::{t_cdf, t_critical};
+use crate::{Result, StatsError};
+
+/// A point estimate with standard error and confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEstimate {
+    /// Point estimate (difference of means, or normalized effect).
+    pub estimate: f64,
+    /// Standard error of the estimate.
+    pub se: f64,
+    /// Two-sided confidence interval at the requested level.
+    pub ci: (f64, f64),
+    /// Degrees of freedom used for the interval.
+    pub dof: f64,
+}
+
+impl DiffEstimate {
+    /// Whether the confidence interval excludes zero.
+    pub fn significant(&self) -> bool {
+        self.ci.0 > 0.0 || self.ci.1 < 0.0
+    }
+
+    /// Rescale estimate, SE and CI by a constant (used to express effects
+    /// relative to a global control mean, as the paper normalizes).
+    pub fn scaled(&self, factor: f64) -> DiffEstimate {
+        let (lo, hi) = (self.ci.0 * factor, self.ci.1 * factor);
+        DiffEstimate {
+            estimate: self.estimate * factor,
+            se: self.se * factor.abs(),
+            ci: if factor >= 0.0 { (lo, hi) } else { (hi, lo) },
+            dof: self.dof,
+        }
+    }
+}
+
+/// Welch two-sample comparison: difference in means with unequal-variance
+/// standard errors and Welch–Satterthwaite degrees of freedom.
+pub fn diff_in_means(treat: &[f64], control: &[f64], level: f64) -> Result<DiffEstimate> {
+    if treat.len() < 2 || control.len() < 2 {
+        return Err(StatsError::TooFewObservations {
+            got: treat.len().min(control.len()),
+            need: 2,
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter { context: "level must be in (0,1)" });
+    }
+    let (nt, nc) = (treat.len() as f64, control.len() as f64);
+    let (vt, vc) = (variance(treat), variance(control));
+    let est = mean(treat) - mean(control);
+    let se2 = vt / nt + vc / nc;
+    let se = se2.sqrt();
+    // Welch–Satterthwaite.
+    let dof = if se2 > 0.0 {
+        se2 * se2 / ((vt / nt).powi(2) / (nt - 1.0) + (vc / nc).powi(2) / (nc - 1.0))
+    } else {
+        nt + nc - 2.0
+    };
+    let t = t_critical(level, dof.max(1.0));
+    Ok(DiffEstimate { estimate: est, se, ci: (est - t * se, est + t * se), dof })
+}
+
+/// Result of a hypothesis test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Test statistic.
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Degrees of freedom.
+    pub dof: f64,
+}
+
+/// Welch's t-test for equality of means.
+pub fn welch_t_test(treat: &[f64], control: &[f64]) -> Result<TestResult> {
+    let d = diff_in_means(treat, control, 0.95)?;
+    if d.se == 0.0 {
+        return Err(StatsError::InvalidParameter { context: "welch_t_test: zero variance" });
+    }
+    let t = d.estimate / d.se;
+    let p = 2.0 * (1.0 - t_cdf(t.abs(), d.dof));
+    Ok(TestResult { statistic: t, p_value: p.clamp(0.0, 1.0), dof: d.dof })
+}
+
+/// Paired t-test on matched observations.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TestResult> {
+    if a.len() != b.len() {
+        return Err(StatsError::DimensionMismatch { context: "paired_t_test: lengths differ" });
+    }
+    if a.len() < 2 {
+        return Err(StatsError::TooFewObservations { got: a.len(), need: 2 });
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let m = mean(&diffs);
+    let se = crate::describe::std_error(&diffs);
+    if se == 0.0 {
+        return Err(StatsError::InvalidParameter { context: "paired_t_test: zero variance" });
+    }
+    let dof = (diffs.len() - 1) as f64;
+    let t = m / se;
+    let p = 2.0 * (1.0 - t_cdf(t.abs(), dof));
+    Ok(TestResult { statistic: t, p_value: p.clamp(0.0, 1.0), dof })
+}
+
+/// Confidence interval for a single mean.
+pub fn mean_ci(xs: &[f64], level: f64) -> Result<DiffEstimate> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooFewObservations { got: xs.len(), need: 2 });
+    }
+    let m = mean(xs);
+    let se = crate::describe::std_error(xs);
+    let dof = (xs.len() - 1) as f64;
+    let t = t_critical(level, dof);
+    Ok(DiffEstimate { estimate: m, se, ci: (m - t * se, m + t * se), dof })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_detects_clear_separation() {
+        let treat: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let control: Vec<f64> = (0..50).map(|i| 5.0 + (i % 5) as f64 * 0.1).collect();
+        let d = diff_in_means(&treat, &control, 0.95).unwrap();
+        assert!((d.estimate - 5.0).abs() < 1e-9);
+        assert!(d.significant());
+    }
+
+    #[test]
+    fn diff_null_not_significant() {
+        let a: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| ((i + 3) % 7) as f64).collect();
+        let d = diff_in_means(&a, &b, 0.95).unwrap();
+        assert!(!d.significant(), "estimate {} ci {:?}", d.estimate, d.ci);
+    }
+
+    #[test]
+    fn welch_p_value_extremes() {
+        let a: Vec<f64> = (0..30).map(|i| 100.0 + (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| (i % 3) as f64).collect();
+        assert!(welch_t_test(&a, &b).unwrap().p_value < 1e-12);
+        let c: Vec<f64> = (0..30).map(|i| (i % 3) as f64).collect();
+        assert!(welch_t_test(&c, &b).unwrap().p_value > 0.99);
+    }
+
+    #[test]
+    fn paired_t_detects_shift() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0 + 0.01 * (x % 2.0)).collect();
+        let r = paired_t_test(&b, &a).unwrap();
+        assert!(r.p_value < 1e-9);
+        assert!(r.statistic > 0.0);
+    }
+
+    #[test]
+    fn mean_ci_covers_sample_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ci = mean_ci(&xs, 0.95).unwrap();
+        assert!((ci.estimate - 3.0).abs() < 1e-12);
+        assert!(ci.ci.0 < 3.0 && 3.0 < ci.ci.1);
+    }
+
+    #[test]
+    fn scaled_flips_interval_for_negative_factor() {
+        let d = DiffEstimate { estimate: 2.0, se: 1.0, ci: (0.0, 4.0), dof: 10.0 };
+        let s = d.scaled(-1.0);
+        assert_eq!(s.estimate, -2.0);
+        assert_eq!(s.ci, (-4.0, 0.0));
+        assert!(s.ci.0 <= s.ci.1);
+    }
+
+    #[test]
+    fn errors_on_tiny_samples() {
+        assert!(diff_in_means(&[1.0], &[1.0, 2.0], 0.95).is_err());
+        assert!(mean_ci(&[1.0], 0.95).is_err());
+    }
+}

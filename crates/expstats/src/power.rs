@@ -1,0 +1,123 @@
+//! Power analysis for two-sample experiments.
+//!
+//! §5.2 of the paper: "The allocation size should be large enough to give
+//! statistically significant results, and can be determined by a power
+//! calculation." These routines size A/B allocations and switchback
+//! interval counts.
+
+use crate::dist::{norm_cdf, norm_ppf};
+use crate::{Result, StatsError};
+
+/// Power of a two-sided two-sample z-test.
+///
+/// * `effect` — true difference in means,
+/// * `sd` — common outcome standard deviation,
+/// * `n_treat`, `n_control` — group sizes,
+/// * `alpha` — significance level (e.g. 0.05).
+pub fn two_sample_power(
+    effect: f64,
+    sd: f64,
+    n_treat: usize,
+    n_control: usize,
+    alpha: f64,
+) -> Result<f64> {
+    if sd <= 0.0 {
+        return Err(StatsError::InvalidParameter { context: "power: sd must be positive" });
+    }
+    if n_treat == 0 || n_control == 0 {
+        return Err(StatsError::InvalidParameter { context: "power: group sizes must be > 0" });
+    }
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err(StatsError::InvalidParameter { context: "power: alpha must be in (0,1)" });
+    }
+    let se = sd * (1.0 / n_treat as f64 + 1.0 / n_control as f64).sqrt();
+    let z_crit = norm_ppf(1.0 - alpha / 2.0);
+    let shift = effect.abs() / se;
+    // P(|Z + shift| > z_crit).
+    Ok(norm_cdf(shift - z_crit) + norm_cdf(-shift - z_crit))
+}
+
+/// Minimum per-group sample size for a balanced two-sample test to reach
+/// the requested `power` against `effect` at level `alpha`.
+pub fn required_n_per_group(effect: f64, sd: f64, power: f64, alpha: f64) -> Result<usize> {
+    if effect == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            context: "required_n: effect must be non-zero",
+        });
+    }
+    if sd <= 0.0 {
+        return Err(StatsError::InvalidParameter { context: "required_n: sd must be positive" });
+    }
+    if !(0.0 < power && power < 1.0) || !(0.0 < alpha && alpha < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            context: "required_n: power/alpha must be in (0,1)",
+        });
+    }
+    let za = norm_ppf(1.0 - alpha / 2.0);
+    let zb = norm_ppf(power);
+    let n = 2.0 * ((za + zb) * sd / effect).powi(2);
+    Ok(n.ceil() as usize)
+}
+
+/// Minimum number of switchback intervals (half treated, half control)
+/// needed to detect `effect` when each interval contributes one aggregated
+/// observation with standard deviation `interval_sd`.
+///
+/// This encodes the paper's worst-case analysis stance: each interval is a
+/// single data point, so interval count — not session count — drives power.
+pub fn required_switchback_intervals(
+    effect: f64,
+    interval_sd: f64,
+    power: f64,
+    alpha: f64,
+) -> Result<usize> {
+    let per_arm = required_n_per_group(effect, interval_sd, power, alpha)?;
+    Ok(per_arm * 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_increases_with_n() {
+        let p_small = two_sample_power(1.0, 5.0, 20, 20, 0.05).unwrap();
+        let p_large = two_sample_power(1.0, 5.0, 200, 200, 0.05).unwrap();
+        assert!(p_large > p_small);
+    }
+
+    #[test]
+    fn power_at_zero_effect_equals_alpha() {
+        let p = two_sample_power(0.0, 1.0, 100, 100, 0.05).unwrap();
+        assert!((p - 0.05).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn textbook_sample_size() {
+        // Cohen's d = 0.5, 80% power, alpha 0.05 => n ≈ 63-64 per group.
+        let n = required_n_per_group(0.5, 1.0, 0.8, 0.05).unwrap();
+        assert!((62..=64).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn required_n_achieves_power() {
+        let n = required_n_per_group(0.3, 1.0, 0.9, 0.05).unwrap();
+        let p = two_sample_power(0.3, 1.0, n, n, 0.05).unwrap();
+        assert!(p >= 0.9, "power {p} with n {n}");
+    }
+
+    #[test]
+    fn switchback_intervals_double_per_arm() {
+        let per_arm = required_n_per_group(1.0, 1.0, 0.8, 0.05).unwrap();
+        let total = required_switchback_intervals(1.0, 1.0, 0.8, 0.05).unwrap();
+        assert_eq!(total, per_arm * 2);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(two_sample_power(1.0, 0.0, 10, 10, 0.05).is_err());
+        assert!(two_sample_power(1.0, 1.0, 0, 10, 0.05).is_err());
+        assert!(required_n_per_group(0.0, 1.0, 0.8, 0.05).is_err());
+        assert!(required_n_per_group(1.0, 1.0, 1.2, 0.05).is_err());
+    }
+}

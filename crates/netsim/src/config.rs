@@ -1,0 +1,259 @@
+//! Configuration for the dumbbell lab topology.
+
+use dessim::SimDuration;
+
+/// Which congestion control algorithm a flow runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcKind {
+    /// TCP Reno (AIMD, NewReno loss recovery).
+    Reno,
+    /// TCP Cubic (the Linux default).
+    Cubic,
+    /// BBR v1 (model-based: bandwidth/RTT probing).
+    Bbr,
+}
+
+impl CcKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::Reno => "reno",
+            CcKind::Cubic => "cubic",
+            CcKind::Bbr => "bbr",
+        }
+    }
+}
+
+/// One application: the experimental *unit* of the lab tests.
+///
+/// In the parallel-connections experiment an application owns one or two
+/// connections; in the pacing and CC experiments it owns exactly one.
+#[derive(Debug, Clone, Copy)]
+pub struct AppConfig {
+    /// Number of parallel bulk-transfer connections.
+    pub connections: usize,
+    /// Congestion control algorithm for all its connections.
+    pub cc: CcKind,
+    /// Whether its connections pace outgoing packets.
+    pub paced: bool,
+    /// Congestion-avoidance pacing factor (`factor × cwnd / sRTT`).
+    /// Linux uses 1.2; Aggarwal et al.'s classic `(cwnd+1)/RTT` is 1.0.
+    pub pacing_ca_factor: f64,
+}
+
+impl AppConfig {
+    /// A plain single-connection unpaced application.
+    pub fn plain(cc: CcKind) -> AppConfig {
+        AppConfig { connections: 1, cc, paced: false, pacing_ca_factor: 1.2 }
+    }
+
+    /// A single-connection paced application at the given CA factor.
+    pub fn paced(cc: CcKind, pacing_ca_factor: f64) -> AppConfig {
+        AppConfig { connections: 1, cc, paced: true, pacing_ca_factor }
+    }
+}
+
+/// Errors from validating a [`DumbbellConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A numeric field was non-positive or otherwise out of range.
+    OutOfRange {
+        /// Field name.
+        field: &'static str,
+    },
+    /// The application list was empty or an app had zero connections.
+    NoTraffic,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::OutOfRange { field } => write!(f, "config field out of range: {field}"),
+            ConfigError::NoTraffic => write!(f, "config defines no traffic"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full description of a dumbbell experiment.
+#[derive(Debug, Clone)]
+pub struct DumbbellConfig {
+    /// Bottleneck rate in bits per second.
+    pub bottleneck_bps: f64,
+    /// Access-link rate as a multiple of the bottleneck rate (the paper's
+    /// sender had 2×10 G bonded NICs feeding a 10 G bottleneck ⇒ 2.0).
+    pub access_multiple: f64,
+    /// Two-way propagation delay excluding queueing.
+    pub base_rtt: SimDuration,
+    /// Relative jitter applied to each flow's base RTT (breaks phase
+    /// locking between otherwise identical flows). 0.1 = ±10%.
+    pub rtt_jitter: f64,
+    /// Bottleneck buffer size in bandwidth-delay products.
+    pub buffer_bdp: f64,
+    /// Segment size in bytes (the paper uses 9000-byte jumbo frames).
+    pub mss_bytes: u32,
+    /// The applications sharing the bottleneck.
+    pub apps: Vec<AppConfig>,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Warm-up excluded from measurement.
+    pub warmup: SimDuration,
+    /// Receiver ACK aggregation: one ACK per this many in-order segments.
+    /// 1 disables aggregation; 2 is classic delayed ACKs (the default);
+    /// larger values model GRO coalescing at high rates, which makes
+    /// unpaced senders bursty.
+    pub ack_aggregation: u32,
+    /// Delayed-ACK flush timeout for a partially filled aggregate.
+    pub ack_flush_delay: SimDuration,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Independent random loss probability at the bottleneck egress
+    /// (fault injection for tests; 0 in all paper experiments).
+    pub random_loss: f64,
+}
+
+impl Default for DumbbellConfig {
+    fn default() -> Self {
+        DumbbellConfig {
+            bottleneck_bps: 1e9,
+            access_multiple: 2.0,
+            base_rtt: SimDuration::from_millis(20),
+            rtt_jitter: 0.1,
+            buffer_bdp: 1.0,
+            mss_bytes: 1500,
+            apps: Vec::new(),
+            duration: SimDuration::from_secs(30),
+            warmup: SimDuration::from_secs(10),
+            ack_aggregation: 2,
+            ack_flush_delay: SimDuration::from_millis(1),
+            seed: 1,
+            random_loss: 0.0,
+        }
+    }
+}
+
+impl DumbbellConfig {
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        (self.bottleneck_bps * self.base_rtt.as_secs_f64() / 8.0) as u64
+    }
+
+    /// Bottleneck buffer in bytes (at least two segments, so a window can
+    /// always make progress).
+    pub fn buffer_bytes(&self) -> u64 {
+        ((self.bdp_bytes() as f64 * self.buffer_bdp) as u64).max(2 * self.mss_bytes as u64)
+    }
+
+    /// Total number of flows across all applications.
+    pub fn total_flows(&self) -> usize {
+        self.apps.iter().map(|a| a.connections).sum()
+    }
+
+    /// Validate all fields.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.bottleneck_bps > 0.0) {
+            return Err(ConfigError::OutOfRange { field: "bottleneck_bps" });
+        }
+        if !(self.access_multiple >= 1.0) {
+            return Err(ConfigError::OutOfRange { field: "access_multiple" });
+        }
+        if self.base_rtt == SimDuration::ZERO {
+            return Err(ConfigError::OutOfRange { field: "base_rtt" });
+        }
+        if !(0.0..0.9).contains(&self.rtt_jitter) {
+            return Err(ConfigError::OutOfRange { field: "rtt_jitter" });
+        }
+        if !(self.buffer_bdp > 0.0) {
+            return Err(ConfigError::OutOfRange { field: "buffer_bdp" });
+        }
+        if self.mss_bytes < 64 {
+            return Err(ConfigError::OutOfRange { field: "mss_bytes" });
+        }
+        if self.apps.is_empty() || self.apps.iter().any(|a| a.connections == 0) {
+            return Err(ConfigError::NoTraffic);
+        }
+        if self.duration <= self.warmup {
+            return Err(ConfigError::OutOfRange { field: "duration" });
+        }
+        if !(0.0..1.0).contains(&self.random_loss) {
+            return Err(ConfigError::OutOfRange { field: "random_loss" });
+        }
+        if self.ack_aggregation == 0 {
+            return Err(ConfigError::OutOfRange { field: "ack_aggregation" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> DumbbellConfig {
+        DumbbellConfig { apps: vec![AppConfig::plain(CcKind::Reno)], ..Default::default() }
+    }
+
+    #[test]
+    fn default_with_apps_is_valid() {
+        assert!(valid().validate().is_ok());
+    }
+
+    #[test]
+    fn bdp_math() {
+        let c = valid();
+        // 1 Gb/s * 20 ms / 8 = 2.5 MB.
+        assert_eq!(c.bdp_bytes(), 2_500_000);
+        assert_eq!(c.buffer_bytes(), 2_500_000);
+    }
+
+    #[test]
+    fn buffer_floor_is_two_segments() {
+        let c = DumbbellConfig {
+            bottleneck_bps: 1e6,
+            base_rtt: SimDuration::from_micros(100),
+            buffer_bdp: 0.01,
+            ..valid()
+        };
+        assert_eq!(c.buffer_bytes(), 2 * 1500);
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        let mut c = valid();
+        c.bottleneck_bps = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = valid();
+        c.apps.clear();
+        assert_eq!(c.validate(), Err(ConfigError::NoTraffic));
+
+        let mut c = valid();
+        c.apps[0].connections = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoTraffic));
+
+        let mut c = valid();
+        c.warmup = c.duration;
+        assert!(c.validate().is_err());
+
+        let mut c = valid();
+        c.random_loss = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = valid();
+        c.access_multiple = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn total_flows_sums_connections() {
+        let c = DumbbellConfig {
+            apps: vec![
+                AppConfig { connections: 2, cc: CcKind::Reno, paced: false, pacing_ca_factor: 1.2 },
+                AppConfig { connections: 3, cc: CcKind::Cubic, paced: true, pacing_ca_factor: 1.2 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(c.total_flows(), 5);
+    }
+}

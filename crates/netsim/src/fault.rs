@@ -1,0 +1,127 @@
+//! Fault injection helpers.
+//!
+//! The simulator supports independent random loss at the bottleneck (see
+//! [`crate::config::DumbbellConfig::random_loss`]); this module provides
+//! the standalone injector plus deterministic loss patterns used by the
+//! test suite to exercise specific recovery paths.
+
+use dessim::SimRng;
+
+/// Decides which packets to drop.
+pub trait LossModel {
+    /// Return `true` to drop the `index`-th packet observed.
+    fn should_drop(&mut self, index: u64) -> bool;
+}
+
+/// Drop nothing.
+#[derive(Debug, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn should_drop(&mut self, _index: u64) -> bool {
+        false
+    }
+}
+
+/// Independent (Bernoulli) random loss.
+#[derive(Debug)]
+pub struct RandomLoss {
+    probability: f64,
+    rng: SimRng,
+}
+
+impl RandomLoss {
+    /// Drop each packet independently with `probability`.
+    pub fn new(probability: f64, seed: u64) -> RandomLoss {
+        RandomLoss { probability: probability.clamp(0.0, 1.0), rng: SimRng::new(seed) }
+    }
+}
+
+impl LossModel for RandomLoss {
+    fn should_drop(&mut self, _index: u64) -> bool {
+        self.rng.bernoulli(self.probability)
+    }
+}
+
+/// Drop an explicit list of packet indices (deterministic tests).
+#[derive(Debug)]
+pub struct ScriptedLoss {
+    drops: std::collections::BTreeSet<u64>,
+}
+
+impl ScriptedLoss {
+    /// Drop exactly the packets whose observation index is listed.
+    pub fn new(drops: impl IntoIterator<Item = u64>) -> ScriptedLoss {
+        ScriptedLoss { drops: drops.into_iter().collect() }
+    }
+}
+
+impl LossModel for ScriptedLoss {
+    fn should_drop(&mut self, index: u64) -> bool {
+        self.drops.contains(&index)
+    }
+}
+
+/// Drop every `period`-th packet (periodic stress).
+#[derive(Debug)]
+pub struct PeriodicLoss {
+    period: u64,
+}
+
+impl PeriodicLoss {
+    /// Drop packets with `index % period == period - 1`. `period` must be
+    /// at least 1.
+    pub fn new(period: u64) -> PeriodicLoss {
+        assert!(period >= 1, "period must be >= 1");
+        PeriodicLoss { period }
+    }
+}
+
+impl LossModel for PeriodicLoss {
+    fn should_drop(&mut self, index: u64) -> bool {
+        index % self.period == self.period - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_never_drops() {
+        let mut m = NoLoss;
+        assert!((0..1000).all(|i| !m.should_drop(i)));
+    }
+
+    #[test]
+    fn random_loss_frequency() {
+        let mut m = RandomLoss::new(0.2, 7);
+        let n = 50_000;
+        let drops = (0..n).filter(|&i| m.should_drop(i)).count();
+        let frac = drops as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn random_loss_deterministic_per_seed() {
+        let mut a = RandomLoss::new(0.3, 11);
+        let mut b = RandomLoss::new(0.3, 11);
+        for i in 0..1000 {
+            assert_eq!(a.should_drop(i), b.should_drop(i));
+        }
+    }
+
+    #[test]
+    fn scripted_loss_hits_exact_indices() {
+        let mut m = ScriptedLoss::new([2, 5]);
+        let dropped: Vec<u64> = (0..10).filter(|&i| m.should_drop(i)).collect();
+        assert_eq!(dropped, vec![2, 5]);
+    }
+
+    #[test]
+    fn periodic_loss_period() {
+        let mut m = PeriodicLoss::new(4);
+        let dropped: Vec<u64> = (0..12).filter(|&i| m.should_drop(i)).collect();
+        assert_eq!(dropped, vec![3, 7, 11]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Packets and identifiers.
+
+use dessim::SimTime;
+
+/// Index of a flow (TCP connection) within the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub usize);
+
+/// Index of an application (a unit that owns one or more flows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub usize);
+
+/// A data segment in flight.
+///
+/// Sequence numbers count whole segments, not bytes: every data packet
+/// carries exactly `mss` payload bytes, which is accurate for bulk
+/// transfers and keeps arithmetic exact.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Segment sequence number (0-based, in segments).
+    pub seq: u64,
+    /// Wire size in bytes (payload + header overhead).
+    pub size_bytes: u32,
+    /// Whether this transmission is a retransmission.
+    pub is_retx: bool,
+    /// Time the segment entered the network (set at send).
+    pub sent_at: SimTime,
+}
+
+/// Maximum number of SACK blocks carried per ACK (as in real TCP, where
+/// option space limits blocks to 3 when timestamps are in use).
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// One selective-acknowledgment range: segments `start..end` received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SackBlock {
+    /// First segment of the range.
+    pub start: u64,
+    /// One past the last segment of the range.
+    pub end: u64,
+}
+
+/// Cumulative acknowledgment travelling back to a sender.
+#[derive(Debug, Clone, Copy)]
+pub struct Ack {
+    /// Flow being acknowledged.
+    pub flow: FlowId,
+    /// Next expected segment (all segments `< cum_ack` received).
+    pub cum_ack: u64,
+    /// Sequence number of the segment that triggered this ACK.
+    pub for_seq: u64,
+    /// Selective acknowledgment blocks (most recent first).
+    pub sacks: [Option<SackBlock>; MAX_SACK_BLOCKS],
+    /// Echo of the triggering segment's send timestamp (RTT sampling;
+    /// `None` when the segment was a retransmission — Karn's rule).
+    pub echo_sent_at: Option<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(FlowId(1));
+        s.insert(FlowId(1));
+        s.insert(FlowId(2));
+        assert_eq!(s.len(), 2);
+        assert!(FlowId(1) < FlowId(2));
+    }
+
+    #[test]
+    fn packet_is_small() {
+        // Packets are copied through several queues; keep them compact.
+        assert!(std::mem::size_of::<Packet>() <= 48);
+    }
+}

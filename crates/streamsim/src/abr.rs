@@ -1,0 +1,105 @@
+//! Adaptive-bitrate selection and perceptual quality.
+
+/// The bitrate ladder plus the capping treatment.
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    rates: Vec<f64>,
+}
+
+impl Ladder {
+    /// Build from ascending rates in bits/second.
+    pub fn new(rates: Vec<f64>) -> Ladder {
+        debug_assert!(rates.windows(2).all(|w| w[0] < w[1]), "ladder must ascend");
+        Ladder { rates }
+    }
+
+    /// Lowest rung.
+    pub fn min_rate(&self) -> f64 {
+        self.rates[0]
+    }
+
+    /// Highest rung (uncapped).
+    pub fn max_rate(&self) -> f64 {
+        *self.rates.last().expect("ladder is non-empty")
+    }
+
+    /// Throughput-based selection: the highest rung not exceeding
+    /// `safety × estimate`, truncated at `cap` when the session is
+    /// bitrate-capped. Falls back to the lowest rung.
+    pub fn select(&self, throughput_est_bps: f64, safety: f64, cap: Option<f64>) -> f64 {
+        let budget = throughput_est_bps * safety;
+        let ceiling = cap.unwrap_or(f64::INFINITY);
+        self.rates
+            .iter()
+            .copied()
+            .filter(|&r| r <= ceiling).rfind(|&r| r <= budget)
+            .unwrap_or_else(|| {
+                // Must stream something: lowest rung permitted by the cap.
+                self.rates
+                    .iter()
+                    .copied().find(|&r| r <= ceiling)
+                    .unwrap_or(self.min_rate())
+            })
+    }
+}
+
+/// Perceptual quality on a 0–100 scale, concave in bitrate (VMAF-like
+/// saturating curve): `q = 100 · b/(b + b_half)`.
+pub fn perceptual_quality(bitrate_bps: f64) -> f64 {
+    const B_HALF: f64 = 900e3;
+    100.0 * bitrate_bps / (bitrate_bps + B_HALF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Ladder {
+        Ladder::new(vec![235e3, 750e3, 1_750e3, 3_000e3, 5_800e3])
+    }
+
+    #[test]
+    fn selects_highest_affordable() {
+        let l = ladder();
+        assert_eq!(l.select(10e6, 0.8, None), 5_800e3);
+        assert_eq!(l.select(4e6, 0.8, None), 3_000e3); // 3.2M budget
+        assert_eq!(l.select(1e6, 0.8, None), 750e3);
+    }
+
+    #[test]
+    fn falls_back_to_lowest() {
+        let l = ladder();
+        assert_eq!(l.select(100e3, 0.8, None), 235e3);
+    }
+
+    #[test]
+    fn cap_truncates_ladder() {
+        let l = ladder();
+        assert_eq!(l.select(10e6, 0.8, Some(1_750e3)), 1_750e3);
+        assert_eq!(l.select(1e6, 0.8, Some(1_750e3)), 750e3);
+        // Cap below the whole ladder still returns something playable.
+        assert_eq!(l.select(10e6, 0.8, Some(100e3)), 235e3);
+    }
+
+    #[test]
+    fn quality_concave_and_bounded() {
+        let q1 = perceptual_quality(235e3);
+        let q2 = perceptual_quality(1_750e3);
+        let q3 = perceptual_quality(5_800e3);
+        assert!(q1 < q2 && q2 < q3);
+        assert!(q3 < 100.0);
+        // Diminishing returns: the second step gains less per bit.
+        let gain_low = (q2 - q1) / (1_750e3 - 235e3);
+        let gain_high = (q3 - q2) / (5_800e3 - 1_750e3);
+        assert!(gain_low > gain_high);
+    }
+
+    #[test]
+    fn capping_costs_quality_but_less_than_proportional() {
+        // 1750 kb/s vs 5800 kb/s: ~3.3x the bits, but quality drops by
+        // far less than 3.3x — the premise of the capping program.
+        let q_cap = perceptual_quality(1_750e3);
+        let q_full = perceptual_quality(5_800e3);
+        assert!(q_cap / q_full > 0.6);
+    }
+}

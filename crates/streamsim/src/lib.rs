@@ -1,0 +1,44 @@
+//! Fluid-level video streaming simulator: the substrate for the paper's
+//! paired-link bitrate-capping experiment (§4).
+//!
+//! The original experiment ran on two reliably congested 100 Gb/s Netflix
+//! peering links carrying ~14 M production sessions. This crate replaces
+//! that substrate with a synthetic equivalent that preserves the causal
+//! mechanism under study:
+//!
+//! * sessions arrive via a non-homogeneous Poisson process with a
+//!   diurnal (and weekday/weekend) demand curve — [`demand`];
+//! * each session is a video client with an ABR bitrate ladder, playback
+//!   buffer, startup/rebuffer dynamics and a patience limit —
+//!   [`client`], [`abr`];
+//! * each link is a fluid bottleneck: active sessions share capacity
+//!   max–min fairly; excess demand builds a standing queue that inflates
+//!   every session's RTT and sheds load as loss — [`link`];
+//! * **bitrate capping** is the treatment: capped sessions select from a
+//!   truncated ladder, lowering offered load, which delays congestion
+//!   onset for *everyone* on the link — the congestion interference the
+//!   paper measures;
+//! * two statistically similar links run side by side with configurable
+//!   imbalance (including the link-1 rebuffer quirk reported in §4.1) —
+//!   [`sim::PairedSim`].
+//!
+//! Outputs are per-session records ([`session::SessionRecord`]) carrying
+//! every §4 metric; the `unbiased` crate's designs and analyses consume
+//! them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abr;
+pub mod client;
+pub mod config;
+pub mod demand;
+pub mod link;
+pub mod scenario;
+pub mod session;
+pub mod sim;
+
+pub use config::StreamConfig;
+pub use scenario::AllocationSchedule;
+pub use session::SessionRecord;
+pub use sim::{LinkSim, PairedSim};

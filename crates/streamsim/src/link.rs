@@ -1,0 +1,206 @@
+//! The fluid bottleneck link: max–min bandwidth sharing, a standing
+//! queue that inflates RTT, and loss when demand exceeds capacity.
+//!
+//! This is the deliberately coarse counterpart of `netsim`'s packet
+//! model: at 100 Gb/s and millions of sessions, per-packet simulation is
+//! not feasible or necessary. What must be preserved — and is — is the
+//! *coupling*: every session's RTT and loss depend on the aggregate
+//! offered load, so changing some sessions' bitrates changes everyone's
+//! network conditions (congestion interference).
+
+/// Fluid link state.
+#[derive(Debug, Clone)]
+pub struct FluidLink {
+    /// Capacity in bits/second.
+    capacity_bps: f64,
+    /// Base RTT in seconds.
+    base_rtt_s: f64,
+    /// Queue capacity expressed in seconds of draining at capacity.
+    queue_capacity_s: f64,
+    /// Current queue depth in "seconds of capacity".
+    queue_s: f64,
+    /// Current loss fraction (recomputed each tick from overload).
+    loss: f64,
+    /// Utilization in the last tick.
+    utilization: f64,
+}
+
+impl FluidLink {
+    /// New, initially idle link.
+    pub fn new(capacity_bps: f64, base_rtt_s: f64, queue_capacity_s: f64) -> FluidLink {
+        FluidLink {
+            capacity_bps,
+            base_rtt_s,
+            queue_capacity_s,
+            queue_s: 0.0,
+            loss: 0.0,
+            utilization: 0.0,
+        }
+    }
+
+    /// Capacity in bits/second.
+    pub fn capacity_bps(&self) -> f64 {
+        self.capacity_bps
+    }
+
+    /// Current RTT (base plus standing-queue delay), seconds.
+    pub fn rtt_s(&self) -> f64 {
+        self.base_rtt_s + self.queue_s
+    }
+
+    /// Current loss fraction from overload.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Utilization of the previous tick (0–1).
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Whether a standing queue is present (operational congestion).
+    pub fn congested(&self) -> bool {
+        self.queue_s > 0.25 * self.queue_capacity_s
+    }
+
+    /// Allocate bandwidth for one tick.
+    ///
+    /// `demands` are per-session desired rates (bits/s); the result is
+    /// the per-session allocation under max–min fairness with demand
+    /// caps. Queue and loss states advance as a side effect.
+    pub fn allocate(&mut self, demands: &[f64], dt_s: f64) -> Vec<f64> {
+        let total: f64 = demands.iter().sum();
+        let shares = max_min_share(demands, self.capacity_bps);
+        let served: f64 = shares.iter().sum();
+        self.utilization = served / self.capacity_bps;
+
+        // Queue dynamics: unserved demand accumulates (TCP keeps pushing),
+        // bounded by the buffer; slack drains it.
+        let overload_bps = total - served;
+        self.queue_s += overload_bps / self.capacity_bps * dt_s;
+        let slack_bps = self.capacity_bps - served;
+        self.queue_s -= slack_bps / self.capacity_bps * dt_s;
+        self.queue_s = self.queue_s.clamp(0.0, self.queue_capacity_s);
+
+        // Loss: only once the buffer is (nearly) full does the excess
+        // demand turn into drops, shed proportionally.
+        self.loss = if total > 0.0 && self.queue_s >= 0.95 * self.queue_capacity_s {
+            (overload_bps / total).clamp(0.0, 0.5)
+        } else {
+            0.0
+        };
+        shares
+    }
+}
+
+/// Max–min fair shares with per-session demand caps: sessions demanding
+/// less than the fair share keep their demand; the remainder is split among
+/// the rest (water-filling).
+pub fn max_min_share(demands: &[f64], capacity: f64) -> Vec<f64> {
+    let n = demands.len();
+    let mut shares = vec![0.0; n];
+    if n == 0 {
+        return shares;
+    }
+    let mut remaining = capacity;
+    let mut unsatisfied: Vec<usize> = (0..n).collect();
+    // Water-filling: at most O(n log n) via sorting by demand.
+    unsatisfied.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("NaN demand"));
+    let mut idx = 0;
+    while idx < unsatisfied.len() {
+        let left = unsatisfied.len() - idx;
+        let fair = remaining / left as f64;
+        let i = unsatisfied[idx];
+        if demands[i] <= fair {
+            shares[i] = demands[i];
+            remaining -= demands[i];
+            idx += 1;
+        } else {
+            // Everyone remaining demands more than the fair share.
+            for &j in &unsatisfied[idx..] {
+                shares[j] = fair;
+            }
+            return shares;
+        }
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_min_satisfies_small_demands_first() {
+        let shares = max_min_share(&[1.0, 10.0, 10.0], 12.0);
+        assert!((shares[0] - 1.0).abs() < 1e-12);
+        assert!((shares[1] - 5.5).abs() < 1e-12);
+        assert!((shares[2] - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_uncongested_gives_demands() {
+        let shares = max_min_share(&[1.0, 2.0, 3.0], 100.0);
+        assert_eq!(shares, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn max_min_conserves_capacity() {
+        let demands = [5.0, 9.0, 2.0, 14.0, 7.0];
+        let shares = max_min_share(&demands, 20.0);
+        let total: f64 = shares.iter().sum();
+        assert!(total <= 20.0 + 1e-9);
+        assert!(shares.iter().zip(&demands).all(|(s, d)| s <= d));
+    }
+
+    #[test]
+    fn queue_builds_under_overload_and_drains_after() {
+        let mut link = FluidLink::new(100.0, 0.02, 0.05);
+        // Overload: demand 150 vs capacity 100.
+        for _ in 0..100 {
+            link.allocate(&[150.0], 1.0);
+        }
+        assert!(link.rtt_s() > 0.06, "rtt {}", link.rtt_s());
+        assert!(link.loss() > 0.0, "loss {}", link.loss());
+        assert!(link.congested());
+        // Light load drains the queue and clears loss.
+        for _ in 0..100 {
+            link.allocate(&[10.0], 1.0);
+        }
+        assert!((link.rtt_s() - 0.02).abs() < 1e-9);
+        assert_eq!(link.loss(), 0.0);
+        assert!(!link.congested());
+    }
+
+    #[test]
+    fn loss_proportional_to_overload() {
+        let mut link = FluidLink::new(100.0, 0.02, 0.01);
+        for _ in 0..50 {
+            link.allocate(&[200.0], 1.0);
+        }
+        // Overload 100 of 200 demanded => ~50% shed, clamped at 0.5.
+        assert!((link.loss() - 0.5).abs() < 1e-9);
+        let mut mild = FluidLink::new(100.0, 0.02, 0.01);
+        for _ in 0..50 {
+            mild.allocate(&[120.0, 5.0], 1.0);
+        }
+        assert!(mild.loss() > 0.0 && mild.loss() < 0.25, "loss {}", mild.loss());
+    }
+
+    #[test]
+    fn utilization_tracks_service() {
+        let mut link = FluidLink::new(100.0, 0.02, 0.05);
+        link.allocate(&[30.0, 20.0], 1.0);
+        assert!((link.utilization() - 0.5).abs() < 1e-12);
+        link.allocate(&[300.0], 1.0);
+        assert!((link.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_demands_ok() {
+        let mut link = FluidLink::new(100.0, 0.02, 0.05);
+        let shares = link.allocate(&[], 1.0);
+        assert!(shares.is_empty());
+        assert_eq!(link.utilization(), 0.0);
+    }
+}

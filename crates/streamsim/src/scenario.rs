@@ -1,0 +1,103 @@
+//! Allocation schedules: how the treated fraction varies over time and
+//! across links — the knob that distinguishes baseline weeks, A/B tests,
+//! paired-link experiments, switchbacks and event studies.
+
+/// A per-link schedule of treatment allocations.
+#[derive(Debug, Clone)]
+pub enum AllocationSchedule {
+    /// A constant Bernoulli allocation for the whole run.
+    Constant(f64),
+    /// One allocation per simulation day (switchbacks, event studies);
+    /// days beyond the list reuse the last entry.
+    PerDay(Vec<f64>),
+}
+
+impl AllocationSchedule {
+    /// No treatment at all (baseline / A-A weeks).
+    pub fn none() -> AllocationSchedule {
+        AllocationSchedule::Constant(0.0)
+    }
+
+    /// Allocation in force on `day`.
+    pub fn allocation(&self, day: usize) -> f64 {
+        match self {
+            AllocationSchedule::Constant(p) => *p,
+            AllocationSchedule::PerDay(ps) => {
+                if ps.is_empty() {
+                    0.0
+                } else {
+                    ps[day.min(ps.len() - 1)]
+                }
+            }
+        }
+    }
+
+    /// Switchback schedule: treated days get allocation `p_hi`, control
+    /// days `p_lo` (the paper recommends 90–99% rather than 100% so
+    /// spillover stays estimable).
+    pub fn switchback(plan: &[bool], p_hi: f64, p_lo: f64) -> AllocationSchedule {
+        AllocationSchedule::PerDay(
+            plan.iter().map(|&t| if t { p_hi } else { p_lo }).collect(),
+        )
+    }
+
+    /// Event study: `p_lo` before `switch_day`, `p_hi` from it onward.
+    pub fn event_study(
+        days: usize,
+        switch_day: usize,
+        p_hi: f64,
+        p_lo: f64,
+    ) -> AllocationSchedule {
+        AllocationSchedule::PerDay(
+            (0..days).map(|d| if d >= switch_day { p_hi } else { p_lo }).collect(),
+        )
+    }
+
+    /// Gradual deployment: one allocation per stage, one stage per day.
+    pub fn gradual(stages: &[f64]) -> AllocationSchedule {
+        AllocationSchedule::PerDay(stages.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_day() {
+        let s = AllocationSchedule::Constant(0.95);
+        assert_eq!(s.allocation(0), 0.95);
+        assert_eq!(s.allocation(100), 0.95);
+    }
+
+    #[test]
+    fn per_day_clamps_to_last() {
+        let s = AllocationSchedule::PerDay(vec![0.1, 0.5]);
+        assert_eq!(s.allocation(0), 0.1);
+        assert_eq!(s.allocation(1), 0.5);
+        assert_eq!(s.allocation(9), 0.5);
+    }
+
+    #[test]
+    fn switchback_maps_plan() {
+        let s = AllocationSchedule::switchback(&[true, false, true], 0.95, 0.05);
+        assert_eq!(s.allocation(0), 0.95);
+        assert_eq!(s.allocation(1), 0.05);
+        assert_eq!(s.allocation(2), 0.95);
+    }
+
+    #[test]
+    fn event_study_switches_once() {
+        let s = AllocationSchedule::event_study(5, 2, 0.95, 0.05);
+        assert_eq!(s.allocation(0), 0.05);
+        assert_eq!(s.allocation(1), 0.05);
+        assert_eq!(s.allocation(2), 0.95);
+        assert_eq!(s.allocation(4), 0.95);
+    }
+
+    #[test]
+    fn none_is_zero_everywhere() {
+        let s = AllocationSchedule::none();
+        assert_eq!(s.allocation(3), 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! The simulation drivers: one link ([`LinkSim`]) and the paired-link
+//! world ([`PairedSim`]) of §4.
+
+use crate::abr::Ladder;
+use crate::client::Client;
+use crate::config::StreamConfig;
+use crate::demand::DiurnalDemand;
+use crate::link::FluidLink;
+use crate::scenario::AllocationSchedule;
+use crate::session::{LinkId, SessionRecord};
+use dessim::SimRng;
+
+/// Hourly aggregate of link state (for the time-series figures).
+#[derive(Debug, Clone, Copy)]
+pub struct HourlyLinkStats {
+    /// Simulation day.
+    pub day: usize,
+    /// Local hour.
+    pub hour: usize,
+    /// Mean utilization over the hour.
+    pub utilization: f64,
+    /// Mean RTT over the hour, seconds.
+    pub rtt_s: f64,
+    /// Mean concurrent active sessions.
+    pub concurrent: f64,
+    /// Mean loss fraction.
+    pub loss: f64,
+}
+
+/// One streaming link plus its active session population.
+pub struct LinkSim {
+    cfg: StreamConfig,
+    link_id: LinkId,
+    ladder: Ladder,
+    link: FluidLink,
+    demand: DiurnalDemand,
+    schedule: AllocationSchedule,
+    clients: Vec<Client>,
+    records: Vec<SessionRecord>,
+    hourly: Vec<HourlyLinkStats>,
+    // Accumulators for the current hour.
+    acc_util: f64,
+    acc_rtt: f64,
+    acc_conc: f64,
+    acc_loss: f64,
+    acc_ticks: usize,
+    current_hour: (usize, usize),
+    now_s: f64,
+    rng: SimRng,
+}
+
+impl LinkSim {
+    /// Build a link world. `schedule` decides each arriving session's arm.
+    pub fn new(
+        cfg: StreamConfig,
+        link_id: LinkId,
+        schedule: AllocationSchedule,
+        seed: u64,
+    ) -> LinkSim {
+        let ladder = Ladder::new(cfg.ladder_bps.clone());
+        let link = FluidLink::new(cfg.capacity_bps, cfg.base_rtt_s, cfg.queue_capacity_s);
+        let demand = DiurnalDemand::paper_week(cfg.peak_arrivals_per_s);
+        LinkSim {
+            link_id,
+            ladder,
+            link,
+            demand,
+            schedule,
+            clients: Vec::new(),
+            records: Vec::new(),
+            hourly: Vec::new(),
+            acc_util: 0.0,
+            acc_rtt: 0.0,
+            acc_conc: 0.0,
+            acc_loss: 0.0,
+            acc_ticks: 0,
+            current_hour: (0, 0),
+            now_s: 0.0,
+            rng: SimRng::new(seed),
+            cfg,
+        }
+    }
+
+    /// Current number of active sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Advance one tick.
+    pub fn step(&mut self) {
+        let dt = self.cfg.dt_s;
+        let day = DiurnalDemand::day_index(self.now_s);
+        let hour = DiurnalDemand::hour_of_day(self.now_s);
+
+        // Hour rollover: flush aggregates.
+        if (day, hour) != self.current_hour && self.acc_ticks > 0 {
+            self.flush_hour();
+        }
+        self.current_hour = (day, hour);
+
+        // Arrivals.
+        let n_arrivals = self.demand.arrivals(self.now_s, dt, &mut self.rng);
+        let p = self.schedule.allocation(day);
+        let share_now = self.link.capacity_bps()
+            / (self.clients.len() as f64 + 1.0).max(1.0);
+        for _ in 0..n_arrivals {
+            let treated = self.rng.bernoulli(p);
+            let child = self.rng.fork();
+            self.clients.push(Client::new(
+                &self.cfg,
+                &self.ladder,
+                self.link_id,
+                day,
+                hour,
+                self.now_s,
+                treated,
+                share_now.min(self.cfg.session_max_bps),
+                child,
+            ));
+        }
+
+        // Bandwidth allocation.
+        let demands: Vec<f64> =
+            self.clients.iter().map(|c| c.demand(&self.cfg).rate_bps).collect();
+        let shares = self.link.allocate(&demands, dt);
+        let rtt = self.link.rtt_s();
+        let loss = self.link.loss();
+
+        // Client progress; collect finished sessions.
+        let mut i = 0;
+        while i < self.clients.len() {
+            let done = self.clients[i].step(
+                &self.cfg,
+                &self.ladder,
+                shares[i],
+                rtt,
+                loss,
+                self.now_s + dt,
+                dt,
+            );
+            if let Some(rec) = done {
+                self.records.push(rec);
+                self.clients.swap_remove(i);
+                // swap_remove moved the last share too — but shares were
+                // consumed this tick already, so just continue.
+            } else {
+                i += 1;
+            }
+        }
+
+        // Hourly accumulators.
+        self.acc_util += self.link.utilization();
+        self.acc_rtt += rtt;
+        self.acc_conc += self.clients.len() as f64;
+        self.acc_loss += loss;
+        self.acc_ticks += 1;
+
+        self.now_s += dt;
+    }
+
+    fn flush_hour(&mut self) {
+        let n = self.acc_ticks.max(1) as f64;
+        self.hourly.push(HourlyLinkStats {
+            day: self.current_hour.0,
+            hour: self.current_hour.1,
+            utilization: self.acc_util / n,
+            rtt_s: self.acc_rtt / n,
+            concurrent: self.acc_conc / n,
+            loss: self.acc_loss / n,
+        });
+        self.acc_util = 0.0;
+        self.acc_rtt = 0.0;
+        self.acc_conc = 0.0;
+        self.acc_loss = 0.0;
+        self.acc_ticks = 0;
+    }
+
+    /// Run to the configured horizon and return all session records plus
+    /// hourly link statistics.
+    pub fn run(mut self) -> (Vec<SessionRecord>, Vec<HourlyLinkStats>) {
+        let horizon = self.cfg.horizon_s();
+        while self.now_s < horizon {
+            self.step();
+        }
+        if self.acc_ticks > 0 {
+            self.flush_hour();
+        }
+        (self.records, self.hourly)
+    }
+}
+
+/// The paired-link world: two statistically similar links driven by
+/// *independent draws from the same demand process*, with configurable
+/// small imbalances (§4.1: +5% traffic and a rebuffer quirk on link 1).
+pub struct PairedSim {
+    /// Shared configuration (links may override bias fields).
+    pub cfg: StreamConfig,
+    /// Allocation schedule per link.
+    pub schedules: [AllocationSchedule; 2],
+    /// Arrival-rate multipliers per link (paper: 50.8% vs 49.2% ⇒
+    /// roughly 1.03 : 0.97 around the mean).
+    pub arrival_bias: [f64; 2],
+    /// Rebuffer-noise bias per link (paper: link 1 ~20% more rebuffers).
+    pub rebuffer_bias: [f64; 2],
+    /// Root seed.
+    pub seed: u64,
+}
+
+/// Everything a paired run produces.
+pub struct PairedRun {
+    /// Session records from both links.
+    pub sessions: Vec<SessionRecord>,
+    /// Hourly link stats per link.
+    pub hourly: [Vec<HourlyLinkStats>; 2],
+}
+
+impl PairedSim {
+    /// Symmetric paired world with the paper's reported imbalances.
+    pub fn with_paper_biases(
+        cfg: StreamConfig,
+        schedules: [AllocationSchedule; 2],
+        seed: u64,
+    ) -> PairedSim {
+        PairedSim {
+            cfg,
+            schedules,
+            arrival_bias: [1.01, 0.99],
+            rebuffer_bias: [1.3, 1.0],
+            seed,
+        }
+    }
+
+    /// Run both links (sequentially; each has its own RNG stream).
+    pub fn run(self) -> PairedRun {
+        let mut root = SimRng::new(self.seed);
+        let seeds = [root.next_u64(), root.next_u64()];
+        let mut all = Vec::new();
+        let mut hourly = [Vec::new(), Vec::new()];
+        for (idx, link_id) in [LinkId::One, LinkId::Two].into_iter().enumerate() {
+            let mut cfg = self.cfg.clone();
+            cfg.peak_arrivals_per_s *= self.arrival_bias[idx];
+            cfg.rebuffer_bias = self.rebuffer_bias[idx];
+            let sim = LinkSim::new(cfg, link_id, self.schedules[idx].clone(), seeds[idx]);
+            let (mut recs, hstats) = sim.run();
+            all.append(&mut recs);
+            hourly[idx] = hstats;
+        }
+        PairedRun { sessions: all, hourly }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small, fast world: one day, modest load, scaled-down link.
+    /// Arrivals scale with capacity so the congestion regime matches the
+    /// default configuration's (peak demand ≈ 1.2× capacity uncapped).
+    fn small_cfg() -> StreamConfig {
+        StreamConfig {
+            days: 1,
+            peak_arrivals_per_s: 0.24 * 0.4,
+            capacity_bps: 400e6,
+            mean_watch_s: 1500.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sessions_complete_and_record() {
+        let sim = LinkSim::new(small_cfg(), LinkId::One, AllocationSchedule::none(), 1);
+        let (records, hourly) = sim.run();
+        assert!(records.len() > 1000, "records {}", records.len());
+        assert_eq!(hourly.len(), 24);
+        // Sanity: all records carry valid hours/days and positive bytes
+        // for non-cancelled sessions.
+        for r in &records {
+            assert!(r.hour < 24);
+            assert_eq!(r.day, 0);
+            if !r.cancelled {
+                assert!(r.bytes > 0.0, "{r:?}");
+                assert!(r.bitrate_bps >= 235e3);
+            }
+        }
+    }
+
+    #[test]
+    fn peak_hours_are_congested() {
+        let cfg = small_cfg();
+        let sim = LinkSim::new(cfg, LinkId::One, AllocationSchedule::none(), 2);
+        let (_, hourly) = sim.run();
+        let peak = &hourly[20]; // 20:00
+        let trough = &hourly[4]; // 04:00
+        assert!(peak.utilization > 0.95, "peak util {}", peak.utilization);
+        assert!(trough.utilization < 0.5, "trough util {}", trough.utilization);
+        assert!(peak.rtt_s > trough.rtt_s, "queueing delay at peak");
+    }
+
+    #[test]
+    fn capping_everyone_reduces_congestion() {
+        // The headline mechanism: at high allocation the link carries the
+        // same users with less traffic, so peak RTT and loss drop.
+        let cfg = small_cfg();
+        let uncapped =
+            LinkSim::new(cfg.clone(), LinkId::One, AllocationSchedule::Constant(0.0), 3);
+        let capped =
+            LinkSim::new(cfg, LinkId::One, AllocationSchedule::Constant(0.95), 3);
+        let (_, h_un) = uncapped.run();
+        let (_, h_cap) = capped.run();
+        let peak_rtt_un: f64 = (18..23).map(|h| h_un[h].rtt_s).sum::<f64>() / 5.0;
+        let peak_rtt_cap: f64 = (18..23).map(|h| h_cap[h].rtt_s).sum::<f64>() / 5.0;
+        assert!(
+            peak_rtt_cap < peak_rtt_un * 0.9,
+            "capped peak RTT {peak_rtt_cap} vs uncapped {peak_rtt_un}"
+        );
+    }
+
+    #[test]
+    fn allocation_fraction_respected() {
+        let sim = LinkSim::new(small_cfg(), LinkId::One, AllocationSchedule::Constant(0.3), 4);
+        let (records, _) = sim.run();
+        let treated = records.iter().filter(|r| r.treated).count() as f64;
+        let frac = treated / records.len() as f64;
+        assert!((frac - 0.3).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn paired_links_similar_at_baseline() {
+        let cfg = small_cfg();
+        let paired = PairedSim::with_paper_biases(
+            cfg,
+            [AllocationSchedule::none(), AllocationSchedule::none()],
+            7,
+        );
+        let run = paired.run();
+        let (l1, l2): (Vec<_>, Vec<_>) =
+            run.sessions.iter().partition(|r| r.link == LinkId::One);
+        assert!(!l1.is_empty() && !l2.is_empty());
+        // Similar session volumes (within the configured ~5% bias + noise)...
+        let ratio = l1.len() as f64 / l2.len() as f64;
+        assert!((0.9..1.25).contains(&ratio), "volume ratio {ratio}");
+        // ...similar mean throughput...
+        let t1: f64 =
+            l1.iter().map(|r| r.throughput_bps).sum::<f64>() / l1.len() as f64;
+        let t2: f64 =
+            l2.iter().map(|r| r.throughput_bps).sum::<f64>() / l2.len() as f64;
+        assert!((t1 / t2 - 1.0).abs() < 0.1, "throughput ratio {}", t1 / t2);
+        // ...but link 1 rebuffers more (the §4.1 quirk).
+        let rb1: f64 =
+            l1.iter().map(|r| r.rebuffer_indicator()).sum::<f64>() / l1.len() as f64;
+        let rb2: f64 =
+            l2.iter().map(|r| r.rebuffer_indicator()).sum::<f64>() / l2.len() as f64;
+        assert!(rb1 > rb2, "rebuffer rates {rb1} vs {rb2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let sim =
+                LinkSim::new(small_cfg(), LinkId::One, AllocationSchedule::Constant(0.5), seed);
+            let (records, _) = sim.run();
+            (records.len(), records.iter().map(|r| r.bytes).sum::<f64>())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: congestion interference in three minutes.
+//!
+//! Builds a closed-form congested world (fair-share bandwidth splitting),
+//! runs a naive A/B test, and compares its answer with the true total
+//! treatment effect.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use causal::assignment::Assignment;
+use causal::estimators::{arm_means, naive_ab};
+use causal::exposure::{standard_grid, ExposureCurves};
+use causal::potential::{FairShare, PotentialOutcomes};
+
+fn main() {
+    // 100 applications share a congested link. "Treatment" doubles an
+    // application's aggressiveness (e.g. it opens a second connection).
+    let model = FairShare { n: 100, capacity: 1000.0, weight_treated: 2.0, weight_control: 1.0 };
+
+    // --- What an experimenter does: a 10% A/B test. -------------------
+    let assignment = Assignment::bernoulli(model.n(), 0.10, 7);
+    let outcomes: Vec<f64> =
+        (0..model.n()).map(|i| model.outcome(i, &assignment)).collect();
+    let est = naive_ab(&outcomes, &assignment, 0.95).expect("estimable");
+    let (_, control_mean) = arm_means(&outcomes, &assignment).expect("both arms present");
+
+    println!("naive A/B test at 10% allocation:");
+    println!(
+        "  treatment effect: {:+.1}% of the control mean (95% CI {:+.1}%..{:+.1}%)",
+        100.0 * est.estimate / control_mean,
+        100.0 * est.ci.0 / control_mean,
+        100.0 * est.ci.1 / control_mean,
+    );
+
+    // --- What is actually true. ---------------------------------------
+    println!("\nground truth (possible because the model is closed-form):");
+    println!(
+        "  total treatment effect if deployed to everyone: {:+.1}%",
+        100.0 * model.true_tte() / 10.0
+    );
+
+    // --- Why: the allocation-response curves of Figure 1. -------------
+    let curves = ExposureCurves::sample(&model, &standard_grid(6), 40, 1);
+    println!("\nallocation-response curves (the paper's Figure 1b):");
+    println!("  p      mu_T     mu_C");
+    for (i, p) in curves.ps.iter().enumerate() {
+        println!("  {:.1}  {:>7.3}  {:>7.3}", p, curves.mu_t[i], curves.mu_c[i]);
+    }
+    println!(
+        "\nThe A/B contrast (+100%) persists at every allocation, yet deploying\n\
+         the treatment to everyone changes nothing: the treatment only\n\
+         *redistributes* the congested link. This is congestion interference."
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the workspace: re-exports the public APIs so the
+//! examples and integration tests can use one dependency.
+//!
+//! See the individual crates for documentation:
+//! [`dessim`], [`netsim`], [`expstats`], [`causal`], [`streamsim`],
+//! [`unbiased`].
+
+pub use causal;
+pub use dessim;
+pub use expstats;
+pub use netsim;
+pub use streamsim;
+pub use unbiased;

@@ -1,0 +1,49 @@
+//! Property tests on the distribution kernels (CIs depend on them).
+
+use expstats::dist::{inc_beta, norm_cdf, norm_ppf, t_cdf, t_ppf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// norm_ppf is the exact inverse of norm_cdf over (0, 1).
+    #[test]
+    fn normal_round_trip(p in 1e-6f64..0.999999) {
+        let x = norm_ppf(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-9, "p={p} x={x}");
+    }
+
+    /// The normal CDF is monotone non-decreasing.
+    #[test]
+    fn normal_cdf_monotone(a in -8.0f64..8.0, d in 0.0f64..4.0) {
+        prop_assert!(norm_cdf(a + d) >= norm_cdf(a) - 1e-15);
+    }
+
+    /// Student-t round trip across degrees of freedom.
+    #[test]
+    fn t_round_trip(p in 0.001f64..0.999, df in 1.0f64..200.0) {
+        let x = t_ppf(p, df);
+        prop_assert!((t_cdf(x, df) - p).abs() < 1e-7, "p={p} df={df} x={x}");
+    }
+
+    /// t is symmetric: CDF(-x) = 1 - CDF(x).
+    #[test]
+    fn t_symmetry(x in 0.0f64..20.0, df in 1.0f64..100.0) {
+        prop_assert!((t_cdf(-x, df) + t_cdf(x, df) - 1.0).abs() < 1e-10);
+    }
+
+    /// Incomplete beta is a CDF in x: bounded and monotone.
+    #[test]
+    fn inc_beta_is_cdf(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.0f64..1.0, d in 0.0f64..0.2) {
+        let v = inc_beta(a, b, x);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let hi = (x + d).min(1.0);
+        prop_assert!(inc_beta(a, b, hi) >= v - 1e-10);
+    }
+
+    /// Heavier-tailed t has fatter tails than the normal.
+    #[test]
+    fn t_tails_heavier_than_normal(x in 1.5f64..8.0, df in 1.0f64..30.0) {
+        prop_assert!(1.0 - t_cdf(x, df) >= (1.0 - norm_cdf(x)) - 1e-12);
+    }
+}

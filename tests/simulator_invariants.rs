@@ -1,0 +1,45 @@
+//! Property-based invariants on the simulators.
+
+use dessim::{EventQueue, SimTime};
+use proptest::prelude::*;
+use streamsim::link::max_min_share;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Event queues always pop in non-decreasing time order.
+    #[test]
+    fn event_queue_time_ordered(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Max-min fairness: never exceeds capacity, never exceeds demand,
+    /// and saturates the link whenever total demand does.
+    #[test]
+    fn max_min_invariants(
+        demands in prop::collection::vec(0.0f64..100.0, 0..40),
+        capacity in 1.0f64..500.0,
+    ) {
+        let shares = max_min_share(&demands, capacity);
+        let total_share: f64 = shares.iter().sum();
+        let total_demand: f64 = demands.iter().sum();
+        prop_assert!(total_share <= capacity + 1e-6);
+        for (s, d) in shares.iter().zip(&demands) {
+            prop_assert!(*s <= d + 1e-9);
+            prop_assert!(*s >= -1e-12);
+        }
+        if total_demand >= capacity {
+            prop_assert!((total_share - capacity).abs() < 1e-6);
+        } else {
+            prop_assert!((total_share - total_demand).abs() < 1e-6);
+        }
+    }
+}
