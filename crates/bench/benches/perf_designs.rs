@@ -4,14 +4,19 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use streamsim::session::Metric;
 use unbiased::designs::{paired_link_effects, PairedLinkDesign};
 
-fn bench(c: &mut Criterion) {
-    let mut c = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+fn bench(_c: &mut Criterion) {
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8));
     let c = &mut c;
     let cfg = repro_bench::paired_config(0.1, 1);
     c.bench_function("paired_link_1day_small_full_analysis", |b| {
         b.iter(|| {
             let out = PairedLinkDesign::paper(cfg.clone(), 5).run();
-            paired_link_effects(&out.data, Metric::Throughput).unwrap().tte.relative
+            paired_link_effects(&out.data, Metric::Throughput)
+                .unwrap()
+                .tte
+                .relative
         })
     });
 }

@@ -4,8 +4,10 @@ use dessim::SimDuration;
 use netsim::config::{AppConfig, CcKind, DumbbellConfig};
 use netsim::run_dumbbell;
 
-fn bench(c: &mut Criterion) {
-    let mut c = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+fn bench(_c: &mut Criterion) {
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8));
     let c = &mut c;
     let cfg = DumbbellConfig {
         bottleneck_bps: 50e6,

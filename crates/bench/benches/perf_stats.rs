@@ -3,8 +3,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use expstats::ols::{DesignBuilder, Ols};
 use expstats::CovEstimator;
 
-fn bench(c: &mut Criterion) {
-    let mut c = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+fn bench(_c: &mut Criterion) {
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8));
     let c = &mut c;
     // 240 hourly cells, treatment + 23 hour dummies.
     let n = 240;

@@ -5,8 +5,10 @@ use streamsim::scenario::AllocationSchedule;
 use streamsim::session::LinkId;
 use streamsim::sim::LinkSim;
 
-fn bench(c: &mut Criterion) {
-    let mut c = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+fn bench(_c: &mut Criterion) {
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8));
     let c = &mut c;
     let cfg = StreamConfig {
         days: 1,
@@ -16,7 +18,12 @@ fn bench(c: &mut Criterion) {
     };
     c.bench_function("streamsim_one_day_small", |b| {
         b.iter(|| {
-            let sim = LinkSim::new(cfg.clone(), LinkId::One, AllocationSchedule::Constant(0.5), 1);
+            let sim = LinkSim::new(
+                cfg.clone(),
+                LinkId::One,
+                AllocationSchedule::Constant(0.5),
+                1,
+            );
             sim.run().0.len()
         })
     });

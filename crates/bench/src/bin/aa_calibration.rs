@@ -1,5 +1,8 @@
-//! §5.3 A/A calibration: run a no-treatment week, apply switchback and
+//! §5.3 A/A calibration: run no-treatment weeks, apply switchback and
 //! event-study labelings, count false positives.
+//!
+//! Replicated across seeds via the parallel scenario runner so the
+//! false-positive *rates* (not one week's luck) are reported.
 use causal::assignment::SwitchbackPlan;
 use streamsim::scenario::AllocationSchedule;
 use streamsim::sim::PairedSim;
@@ -7,27 +10,62 @@ use unbiased::dataset::Dataset;
 use unbiased::designs::aa_scan;
 
 fn main() {
+    let replications: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let cfg = repro_bench::paired_config(0.35, 5);
-    let run = PairedSim::with_paper_biases(
-        cfg,
-        [AllocationSchedule::none(), AllocationSchedule::none()],
-        404,
-    )
-    .run();
-    let data = Dataset::new(run.sessions);
     let metrics = repro_bench::figure5_metrics();
     let plan = SwitchbackPlan::alternating(5, true);
-    let scan = aa_scan(&data, &plan, 2, &metrics);
-    println!("A/A calibration over {} metrics ({} sessions):\n", metrics.len(), data.len());
+
+    let runs = repro_bench::Runner::new().sweep_root(&cfg, 404, replications, |cfg, seed| {
+        let run = PairedSim::with_paper_biases(
+            cfg.clone(),
+            [AllocationSchedule::none(), AllocationSchedule::none()],
+            seed,
+        )
+        .run();
+        let data = Dataset::new(run.sessions);
+        let scan = aa_scan(&data, &plan, 2, &metrics);
+        (scan, data.len())
+    });
+
     println!(
-        "switchback false positives:  {} {:?}",
-        scan.switchback_false_positives.len(),
-        scan.switchback_false_positives.iter().map(|m| m.name()).collect::<Vec<_>>()
+        "A/A calibration over {} metrics, {} replications:\n",
+        metrics.len(),
+        runs.len()
     );
+    let mut sw_counts = vec![0usize; metrics.len()];
+    let mut ev_counts = vec![0usize; metrics.len()];
+    for r in &runs {
+        let (scan, sessions) = &r.result;
+        println!(
+            "seed {:>20x} ({sessions} sessions): switchback FPs {:?}, event-study FPs {:?}",
+            r.seed,
+            scan.switchback_false_positives
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>(),
+            scan.event_study_false_positives
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+        );
+        for (i, m) in metrics.iter().enumerate() {
+            sw_counts[i] += scan.switchback_false_positives.contains(m) as usize;
+            ev_counts[i] += scan.event_study_false_positives.contains(m) as usize;
+        }
+    }
+    println!("\nfalse-positive rate per metric (switchback | event study):");
+    for (i, m) in metrics.iter().enumerate() {
+        println!(
+            "  {:<24} {:>4.0}% | {:>4.0}%",
+            m.name(),
+            100.0 * sw_counts[i] as f64 / runs.len() as f64,
+            100.0 * ev_counts[i] as f64 / runs.len() as f64
+        );
+    }
     println!(
-        "event-study false positives: {} {:?}",
-        scan.event_study_false_positives.len(),
-        scan.event_study_false_positives.iter().map(|m| m.name()).collect::<Vec<_>>()
+        "\n(paper: no switchback false positives; event studies false-positive on most metrics)"
     );
-    println!("\n(paper: no switchback false positives; event studies false-positive on most metrics)");
 }

@@ -8,7 +8,10 @@ use repro_bench::{lab_config, mixed_apps};
 fn main() {
     println!("Ablation: minority-arm advantage vs buffer depth (10 flows)\n");
     let mut t = Table::new(vec![
-        "buffer (BDP)", "1 BBR vs 9 Cubic", "1 Cubic vs 9 BBR", "all-BBR util",
+        "buffer (BDP)",
+        "1 BBR vs 9 Cubic",
+        "1 Cubic vs 9 BBR",
+        "all-BBR util",
     ]);
     for buf in [0.5, 1.0, 2.0, 4.0] {
         let run = |k: usize, seed: u64| {

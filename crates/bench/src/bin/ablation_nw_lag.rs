@@ -15,7 +15,10 @@ fn main() {
     let base = Dataset::mean(&control, m);
     // Rebuild the hourly regression by hand so we can sweep the lag.
     let mut rows: Vec<(usize, usize, f64, f64)> = Vec::new();
-    for (arm, cells) in [(1.0, Dataset::hourly_means(&treated, m)), (0.0, Dataset::hourly_means(&control, m))] {
+    for (arm, cells) in [
+        (1.0, Dataset::hourly_means(&treated, m)),
+        (0.0, Dataset::hourly_means(&control, m)),
+    ] {
         for (d, h, z) in cells {
             rows.push((d, h, arm, z));
         }
@@ -26,10 +29,14 @@ fn main() {
     let arm: Vec<f64> = rows.iter().map(|r| r.2).collect();
     let hours: Vec<usize> = rows.iter().map(|r| r.1).collect();
     let x = DesignBuilder::new()
-        .intercept(n).unwrap()
-        .column("arm", &arm).unwrap()
-        .dummies("hour", &hours).unwrap()
-        .build().unwrap();
+        .intercept(n)
+        .unwrap()
+        .column("arm", &arm)
+        .unwrap()
+        .dummies("hour", &hours)
+        .unwrap()
+        .build()
+        .unwrap();
     let fit = Ols::fit(x, &y).unwrap();
     println!("Ablation: throughput-TTE standard error vs Newey-West lag ({n} hourly cells)\n");
     let mut t = Table::new(vec!["lag", "relative SE", "note"]);
@@ -40,8 +47,15 @@ fn main() {
             l if l == newey_west_auto_lag(n) => "auto-lag rule",
             _ => "",
         };
-        t.row(vec![format!("{lag}"), format!("{:.4}", se), note.to_string()]);
+        t.row(vec![
+            format!("{lag}"),
+            format!("{:.4}", se),
+            note.to_string(),
+        ]);
     }
     println!("{}", t.render());
-    println!("(estimate itself is lag-invariant: {:+.1}%)", 100.0 * fit.coef[1] / base);
+    println!(
+        "(estimate itself is lag-invariant: {:+.1}%)",
+        100.0 * fit.coef[1] / base
+    );
 }

@@ -30,7 +30,11 @@ fn main() {
     println!("Figure 10: TTE by design\n");
     println!(
         "{}",
-        render_design_comparison(&names, &["paired link", "switchback", "event study"], &[paired, swb, evs])
+        render_design_comparison(
+            &names,
+            &["paired link", "switchback", "event study"],
+            &[paired, swb, evs]
+        )
     );
     println!("(paper: switchback CIs cover the paired TTEs; event study biased for some metrics)");
 }

@@ -10,9 +10,11 @@ fn main() {
     let mut series = Vec::new();
     for day in 0..5 {
         let recs: Vec<&SessionRecord> = if day < switch_day {
-            out.data.filter(|r| r.link == LinkId::Two && !r.treated && r.day == day)
+            out.data
+                .filter(|r| r.link == LinkId::Two && !r.treated && r.day == day)
         } else {
-            out.data.filter(|r| r.link == LinkId::One && r.treated && r.day == day)
+            out.data
+                .filter(|r| r.link == LinkId::One && r.treated && r.day == day)
         };
         let cells = Dataset::hourly_means(&recs, Metric::Throughput);
         for (_, h, v) in cells {

@@ -11,9 +11,11 @@ fn main() {
     let mut vals = Vec::new();
     for day in 0..5 {
         let recs: Vec<&SessionRecord> = if plan.treated(day) {
-            out.data.filter(|r| r.link == LinkId::One && r.treated && r.day == day)
+            out.data
+                .filter(|r| r.link == LinkId::One && r.treated && r.day == day)
         } else {
-            out.data.filter(|r| r.link == LinkId::Two && !r.treated && r.day == day)
+            out.data
+                .filter(|r| r.link == LinkId::Two && !r.treated && r.day == day)
         };
         let cells = Dataset::hourly_means(&recs, Metric::Throughput);
         for (_, _, v) in cells {

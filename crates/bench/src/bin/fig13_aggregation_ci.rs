@@ -1,9 +1,9 @@
 //! Figure 13: effect sizes and CIs under hourly vs session ("account")
 //! level aggregation.
+use expstats::table::{pct, pct_ci, Table};
 use streamsim::session::LinkId;
 use unbiased::analysis::{hourly_effect, unit_effect};
 use unbiased::dataset::Dataset;
-use expstats::table::{pct, pct_ci, Table};
 
 fn main() {
     let out = repro_bench::main_experiment(0.35, 5, 202).run();

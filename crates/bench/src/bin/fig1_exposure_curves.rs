@@ -6,8 +6,16 @@ use expstats::table::Table;
 
 fn main() {
     let grid = standard_grid(11);
-    let no_interf = NoInterference { baselines: vec![1.0; 100], effect: 0.5 };
-    let fair = FairShare { n: 100, capacity: 100.0, weight_treated: 2.0, weight_control: 1.0 };
+    let no_interf = NoInterference {
+        baselines: vec![1.0; 100],
+        effect: 0.5,
+    };
+    let fair = FairShare {
+        n: 100,
+        capacity: 100.0,
+        weight_treated: 2.0,
+        weight_control: 1.0,
+    };
     let a = ExposureCurves::sample(&no_interf, &grid, 50, 1);
     let b = ExposureCurves::sample(&fair, &grid, 50, 2);
     println!("Figure 1: A/B tests with and without congestion interference\n");
@@ -23,5 +31,8 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(a) no interference: ATE flat, TTE = {:.3}", a.tte());
-    println!("(b) fair-share interference: ATE varies with p, TTE = {:.3}", b.tte());
+    println!(
+        "(b) fair-share interference: ATE varies with p, TTE = {:.3}",
+        b.tte()
+    );
 }

@@ -1,46 +1,90 @@
 //! Figure 2a: applications using one or two parallel TCP connections.
 //! Every A/B test shows ~+100% throughput for two connections; the TTE
 //! for throughput is ~0 while retransmissions worsen.
+//!
+//! The eleven k-scenarios are independent simulations, so they run
+//! through the parallel scenario runner.
 use expstats::table::{pct, Table};
 use netsim::config::{AppConfig, CcKind};
 use netsim::run_dumbbell;
-use repro_bench::{lab_config, mixed_apps};
+use repro_bench::{lab_config, mixed_apps, Runner};
 
 fn main() {
     println!("Figure 2a: 10 apps, k use two Reno connections, 200 Mb/s dumbbell\n");
-    let mut t = Table::new(vec![
-        "k treated", "tput 2-conn (M)", "tput 1-conn (M)", "A/B contrast", "retx 2c", "retx 1c",
-    ]);
-    let mut tput_all_control = 0.0;
-    let mut tput_all_treated = 0.0;
-    let mut retx_ends = (0.0, 0.0);
-    for k in 0..=10 {
+    let ks: Vec<usize> = (0..=10).collect();
+    let results = Runner::new().map(&ks, |&k| {
         let apps = mixed_apps(10, k, |treated| AppConfig {
             connections: if treated { 2 } else { 1 },
             cc: CcKind::Reno,
             paced: false,
             pacing_ca_factor: 1.2,
         });
-        let res = run_dumbbell(&lab_config(apps, 40 + k as u64)).unwrap();
+        run_dumbbell(&lab_config(apps, 40 + k as u64)).unwrap()
+    });
+
+    let mut t = Table::new(vec![
+        "k treated",
+        "tput 2-conn (M)",
+        "tput 1-conn (M)",
+        "A/B contrast",
+        "retx 2c",
+        "retx 1c",
+    ]);
+    let mut tput_all_control = 0.0;
+    let mut tput_all_treated = 0.0;
+    let mut retx_ends = (0.0, 0.0);
+    for (&k, res) in ks.iter().zip(&results) {
         let treat: Vec<_> = res.apps[..k].iter().collect();
         let ctrl: Vec<_> = res.apps[k..].iter().collect();
-        let mt = if k > 0 { treat.iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64 } else { f64::NAN };
-        let mc = if k < 10 { ctrl.iter().map(|a| a.throughput_bps).sum::<f64>() / (10 - k) as f64 } else { f64::NAN };
-        let rt = if k > 0 { treat.iter().map(|a| a.retx_fraction).sum::<f64>() / k as f64 } else { f64::NAN };
-        let rc = if k < 10 { ctrl.iter().map(|a| a.retx_fraction).sum::<f64>() / (10 - k) as f64 } else { f64::NAN };
-        if k == 0 { tput_all_control = mc; retx_ends.0 = rc; }
-        if k == 10 { tput_all_treated = mt; retx_ends.1 = rt; }
+        let mt = if k > 0 {
+            treat.iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64
+        } else {
+            f64::NAN
+        };
+        let mc = if k < 10 {
+            ctrl.iter().map(|a| a.throughput_bps).sum::<f64>() / (10 - k) as f64
+        } else {
+            f64::NAN
+        };
+        let rt = if k > 0 {
+            treat.iter().map(|a| a.retx_fraction).sum::<f64>() / k as f64
+        } else {
+            f64::NAN
+        };
+        let rc = if k < 10 {
+            ctrl.iter().map(|a| a.retx_fraction).sum::<f64>() / (10 - k) as f64
+        } else {
+            f64::NAN
+        };
+        if k == 0 {
+            tput_all_control = mc;
+            retx_ends.0 = rc;
+        }
+        if k == 10 {
+            tput_all_treated = mt;
+            retx_ends.1 = rt;
+        }
         t.row(vec![
             format!("{k}"),
             format!("{:.1}", mt / 1e6),
             format!("{:.1}", mc / 1e6),
-            if mt.is_finite() && mc.is_finite() { pct(mt / mc - 1.0) } else { "-".into() },
+            if mt.is_finite() && mc.is_finite() {
+                pct(mt / mc - 1.0)
+            } else {
+                "-".into()
+            },
             format!("{rt:.4}"),
             format!("{rc:.4}"),
         ]);
     }
     println!("{}", t.render());
-    println!("TTE(throughput)  = {}", pct(tput_all_treated / tput_all_control - 1.0));
-    println!("TTE(retransmits) = {}", pct(retx_ends.1 / retx_ends.0 - 1.0));
+    println!(
+        "TTE(throughput)  = {}",
+        pct(tput_all_treated / tput_all_control - 1.0)
+    );
+    println!(
+        "TTE(retransmits) = {}",
+        pct(retx_ends.1 / retx_ends.0 - 1.0)
+    );
     println!("(paper: A/B says +100% tput at every k; TTE tput = 0, retx rise sharply)");
 }

@@ -10,7 +10,14 @@ use repro_bench::{lab_config, mixed_apps};
 
 fn main() {
     println!("Figure 2b: 10 Cubic connections, k paced (Linux fq-style), 200 Mb/s\n");
-    let mut t = Table::new(vec!["k paced", "tput paced (M)", "tput unpaced (M)", "A/B contrast", "retx p", "retx u"]);
+    let mut t = Table::new(vec![
+        "k paced",
+        "tput paced (M)",
+        "tput unpaced (M)",
+        "A/B contrast",
+        "retx p",
+        "retx u",
+    ]);
     let (mut ends, mut retx_ends) = ((0.0, 0.0), (0.0, 0.0));
     for k in 0..=10 {
         let apps = mixed_apps(10, k, |treated| AppConfig {
@@ -20,23 +27,52 @@ fn main() {
             pacing_ca_factor: 1.2,
         });
         let res = run_dumbbell(&lab_config(apps, 60 + k as u64)).unwrap();
-        let mt = if k > 0 { res.apps[..k].iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64 } else { f64::NAN };
-        let mc = if k < 10 { res.apps[k..].iter().map(|a| a.throughput_bps).sum::<f64>() / (10 - k) as f64 } else { f64::NAN };
-        let rt = if k > 0 { res.apps[..k].iter().map(|a| a.retx_fraction).sum::<f64>() / k as f64 } else { f64::NAN };
-        let rc = if k < 10 { res.apps[k..].iter().map(|a| a.retx_fraction).sum::<f64>() / (10 - k) as f64 } else { f64::NAN };
-        if k == 0 { ends.0 = mc; retx_ends.0 = rc; }
-        if k == 10 { ends.1 = mt; retx_ends.1 = rt; }
+        let mt = if k > 0 {
+            res.apps[..k].iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64
+        } else {
+            f64::NAN
+        };
+        let mc = if k < 10 {
+            res.apps[k..].iter().map(|a| a.throughput_bps).sum::<f64>() / (10 - k) as f64
+        } else {
+            f64::NAN
+        };
+        let rt = if k > 0 {
+            res.apps[..k].iter().map(|a| a.retx_fraction).sum::<f64>() / k as f64
+        } else {
+            f64::NAN
+        };
+        let rc = if k < 10 {
+            res.apps[k..].iter().map(|a| a.retx_fraction).sum::<f64>() / (10 - k) as f64
+        } else {
+            f64::NAN
+        };
+        if k == 0 {
+            ends.0 = mc;
+            retx_ends.0 = rc;
+        }
+        if k == 10 {
+            ends.1 = mt;
+            retx_ends.1 = rt;
+        }
         t.row(vec![
             format!("{k}"),
             format!("{:.1}", mt / 1e6),
             format!("{:.1}", mc / 1e6),
-            if mt.is_finite() && mc.is_finite() { pct(mt / mc - 1.0) } else { "-".into() },
+            if mt.is_finite() && mc.is_finite() {
+                pct(mt / mc - 1.0)
+            } else {
+                "-".into()
+            },
             format!("{rt:.4}"),
             format!("{rc:.4}"),
         ]);
     }
     println!("{}", t.render());
     println!("TTE(throughput)  = {}", pct(ends.1 / ends.0 - 1.0));
-    println!("TTE(retransmits) = {}", pct(retx_ends.1 / retx_ends.0 - 1.0));
+    println!(
+        "TTE(retransmits) = {}",
+        pct(retx_ends.1 / retx_ends.0 - 1.0)
+    );
     println!("(paper: every A/B is biased vs TTE ~ 0; their arm gap was -50% for paced)");
 }

@@ -7,7 +7,12 @@ use repro_bench::{lab_config, mixed_apps};
 
 fn main() {
     println!("Figure 3: 10 connections, k run BBR, 10-k run Cubic (2 BDP buffer)\n");
-    let mut t = Table::new(vec!["k BBR", "tput BBR (M)", "tput Cubic (M)", "BBR vs Cubic"]);
+    let mut t = Table::new(vec![
+        "k BBR",
+        "tput BBR (M)",
+        "tput Cubic (M)",
+        "BBR vs Cubic",
+    ]);
     let (mut all_cubic, mut all_bbr) = (0.0, 0.0);
     for k in 0..=10 {
         let apps = mixed_apps(10, k, |treated| {
@@ -16,18 +21,37 @@ fn main() {
         let mut cfg = lab_config(apps, 80 + k as u64);
         cfg.buffer_bdp = 2.0; // coexistence regime; see EXPERIMENTS.md
         let res = run_dumbbell(&cfg).unwrap();
-        let mb = if k > 0 { res.apps[..k].iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64 } else { f64::NAN };
-        let mc = if k < 10 { res.apps[k..].iter().map(|a| a.throughput_bps).sum::<f64>() / (10 - k) as f64 } else { f64::NAN };
-        if k == 0 { all_cubic = mc; }
-        if k == 10 { all_bbr = mb; }
+        let mb = if k > 0 {
+            res.apps[..k].iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64
+        } else {
+            f64::NAN
+        };
+        let mc = if k < 10 {
+            res.apps[k..].iter().map(|a| a.throughput_bps).sum::<f64>() / (10 - k) as f64
+        } else {
+            f64::NAN
+        };
+        if k == 0 {
+            all_cubic = mc;
+        }
+        if k == 10 {
+            all_bbr = mb;
+        }
         t.row(vec![
             format!("{k}"),
             format!("{:.1}", mb / 1e6),
             format!("{:.1}", mc / 1e6),
-            if mb.is_finite() && mc.is_finite() { pct(mb / mc - 1.0) } else { "-".into() },
+            if mb.is_finite() && mc.is_finite() {
+                pct(mb / mc - 1.0)
+            } else {
+                "-".into()
+            },
         ]);
     }
     println!("{}", t.render());
-    println!("all-BBR vs all-Cubic mean throughput: {}", pct(all_bbr / all_cubic - 1.0));
+    println!(
+        "all-BBR vs all-Cubic mean throughput: {}",
+        pct(all_bbr / all_cubic - 1.0)
+    );
     println!("(paper: both 10% deployments look like big wins; endpoints equal)");
 }

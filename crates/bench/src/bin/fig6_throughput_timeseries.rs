@@ -10,7 +10,12 @@ fn series(data: &Dataset, link: LinkId, day: usize) -> Vec<f64> {
     let recs = data.filter(|r| r.link == link && r.day == day);
     let cells = Dataset::hourly_means(&recs, Metric::Throughput);
     (0..24)
-        .map(|h| cells.iter().find(|&&(_, hh, _)| hh == h).map_or(f64::NAN, |&(_, _, v)| v))
+        .map(|h| {
+            cells
+                .iter()
+                .find(|&&(_, hh, _)| hh == h)
+                .map_or(f64::NAN, |&(_, _, v)| v)
+        })
         .collect()
 }
 
@@ -43,8 +48,14 @@ fn main() {
         render_time_series(
             "Figure 6b: experiment Saturday (link1 95% capped, link2 5%)",
             &[
-                ("link1(95%)".into(), norm(series(&exp.data, LinkId::One, day))),
-                ("link2(5%)".into(), norm(series(&exp.data, LinkId::Two, day))),
+                (
+                    "link1(95%)".into(),
+                    norm(series(&exp.data, LinkId::One, day))
+                ),
+                (
+                    "link2(5%)".into(),
+                    norm(series(&exp.data, LinkId::Two, day))
+                ),
             ],
         )
     );

@@ -1,7 +1,7 @@
 //! Figure 7: the four throughput cell means with estimands annotated.
+use expstats::table::{pct, Table};
 use streamsim::session::{LinkId, Metric};
 use unbiased::dataset::Dataset;
-use expstats::table::{pct, Table};
 
 fn main() {
     let out = repro_bench::main_experiment(0.35, 5, 202).run();
@@ -11,10 +11,26 @@ fn main() {
     let (t2, c2) = (cell(LinkId::Two, true), cell(LinkId::Two, false));
     println!("Figure 7: average throughput per cell (Mb/s)\n");
     let mut t = Table::new(vec!["cell", "capped (T)", "uncapped (C)"]);
-    t.row(vec!["link 1 (95% capped)".to_string(), format!("{:.2}", t1 / 1e6), format!("{:.2}", c1 / 1e6)]);
-    t.row(vec!["link 2 (5% capped)".to_string(), format!("{:.2}", t2 / 1e6), format!("{:.2}", c2 / 1e6)]);
+    t.row(vec![
+        "link 1 (95% capped)".to_string(),
+        format!("{:.2}", t1 / 1e6),
+        format!("{:.2}", c1 / 1e6),
+    ]);
+    t.row(vec![
+        "link 2 (5% capped)".to_string(),
+        format!("{:.2}", t2 / 1e6),
+        format!("{:.2}", c2 / 1e6),
+    ]);
     println!("{}", t.render());
-    println!("tau(0.95) = {}   tau(0.05) = {}", pct(t1 / c1 - 1.0), pct(t2 / c2 - 1.0));
-    println!("TTE ~ {}   spillover ~ {}", pct(t1 / c2 - 1.0), pct(c1 / c2 - 1.0));
+    println!(
+        "tau(0.95) = {}   tau(0.05) = {}",
+        pct(t1 / c1 - 1.0),
+        pct(t2 / c2 - 1.0)
+    );
+    println!(
+        "TTE ~ {}   spillover ~ {}",
+        pct(t1 / c2 - 1.0),
+        pct(c1 / c2 - 1.0)
+    );
     println!("(paper: both A/B contrasts ~ -5%, TTE +12%, spillover +16%)");
 }

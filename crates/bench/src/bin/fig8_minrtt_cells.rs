@@ -1,22 +1,38 @@
 //! Figure 8: minimum-RTT cell means, normalized to the smallest cell.
+use expstats::table::Table;
 use streamsim::session::{LinkId, Metric};
 use unbiased::dataset::Dataset;
-use expstats::table::Table;
 
 fn main() {
     let out = repro_bench::main_experiment(0.35, 5, 202).run();
     let m = Metric::MinRtt;
     let vals = [
-        ("link1 capped (95%)", Dataset::mean(&out.data.cell(LinkId::One, true), m)),
-        ("link1 uncapped (5%)", Dataset::mean(&out.data.cell(LinkId::One, false), m)),
-        ("link2 capped (5%)", Dataset::mean(&out.data.cell(LinkId::Two, true), m)),
-        ("link2 uncapped (95%)", Dataset::mean(&out.data.cell(LinkId::Two, false), m)),
+        (
+            "link1 capped (95%)",
+            Dataset::mean(&out.data.cell(LinkId::One, true), m),
+        ),
+        (
+            "link1 uncapped (5%)",
+            Dataset::mean(&out.data.cell(LinkId::One, false), m),
+        ),
+        (
+            "link2 capped (5%)",
+            Dataset::mean(&out.data.cell(LinkId::Two, true), m),
+        ),
+        (
+            "link2 uncapped (95%)",
+            Dataset::mean(&out.data.cell(LinkId::Two, false), m),
+        ),
     ];
     let min = vals.iter().map(|v| v.1).fold(f64::MAX, f64::min);
     println!("Figure 8: mean of per-session minimum RTT, normalized to smallest cell\n");
     let mut t = Table::new(vec!["cell", "min RTT (ms)", "normalized"]);
     for (name, v) in vals {
-        t.row(vec![name.to_string(), format!("{:.2}", v * 1e3), format!("{:.3}", v / min)]);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", v * 1e3),
+            format!("{:.3}", v / min),
+        ]);
     }
     println!("{}", t.render());
     println!("(paper: both cells of the mostly-capped link sit near the base RTT)");

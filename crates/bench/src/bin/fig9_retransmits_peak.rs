@@ -1,8 +1,8 @@
 //! Figure 9: % retransmitted bytes — TTE split into peak vs off-peak.
+use expstats::table::{pct, pct_ci, Table};
 use streamsim::session::{LinkId, Metric, SessionRecord};
 use unbiased::analysis::hourly_effect;
 use unbiased::dataset::Dataset;
-use expstats::table::{pct, pct_ci, Table};
 
 fn main() {
     let out = repro_bench::main_experiment(0.35, 5, 202).run();
@@ -11,14 +11,19 @@ fn main() {
     println!("Figure 9: retransmitted-byte fraction, capping TTE by day part\n");
     let mut t = Table::new(vec!["hours", "TTE", "95% CI"]);
     for (label, in_part) in [
-        ("all", Box::new(|_: &SessionRecord| true) as Box<dyn Fn(&SessionRecord) -> bool>),
+        (
+            "all",
+            Box::new(|_: &SessionRecord| true) as Box<dyn Fn(&SessionRecord) -> bool>,
+        ),
         ("peak (17-22h)", Box::new(peak)),
         ("off-peak", Box::new(move |r: &SessionRecord| !peak(r))),
     ] {
-        let treated: Vec<&SessionRecord> =
-            out.data.filter(|r| r.link == LinkId::One && r.treated && in_part(r));
-        let control: Vec<&SessionRecord> =
-            out.data.filter(|r| r.link == LinkId::Two && !r.treated && in_part(r));
+        let treated: Vec<&SessionRecord> = out
+            .data
+            .filter(|r| r.link == LinkId::One && r.treated && in_part(r));
+        let control: Vec<&SessionRecord> = out
+            .data
+            .filter(|r| r.link == LinkId::Two && !r.treated && in_part(r));
         let base = Dataset::mean(&control, m);
         if let Ok(e) = hourly_effect(m, &treated, &control, base) {
             t.row(vec![label.to_string(), pct(e.relative), pct_ci(e.ci95)]);

@@ -1,14 +1,20 @@
 //! §2 "Note on averages": quantile treatment effects from the paired
 //! experiment — the median and tail analogues of Figure 5.
+use expstats::table::{pct, pct_ci, Table};
 use streamsim::session::Metric;
 use unbiased::quantiles::paired_link_quantile_effects;
-use expstats::table::{pct, pct_ci, Table};
 
 fn main() {
     let out = repro_bench::main_experiment(0.35, 5, 202).run();
     println!("Quantile treatment effects ({} sessions)\n", out.data.len());
     for metric in [Metric::Throughput, Metric::MinRtt, Metric::PlayDelay] {
-        let mut t = Table::new(vec!["quantile", "naive 5%", "naive 95%", "TTE", "spillover"]);
+        let mut t = Table::new(vec![
+            "quantile",
+            "naive 5%",
+            "naive 95%",
+            "TTE",
+            "spillover",
+        ]);
         for q in [0.5, 0.9, 0.99] {
             match paired_link_quantile_effects(&out.data, metric, q, 99) {
                 Ok(e) => {

@@ -1,8 +1,8 @@
 //! §5.1: a gradual deployment instrumented as an event-study sequence —
 //! per-stage naive ATEs plus the interference diagnostics.
+use expstats::table::{pct, pct_ci, Table};
 use streamsim::session::Metric;
 use unbiased::designs::GradualDeployment;
-use expstats::table::{pct, pct_ci, Table};
 
 fn main() {
     let mut cfg = repro_bench::paired_config(0.35, 6);
@@ -17,7 +17,11 @@ fn main() {
         println!("Gradual deployment — {}\n", metric.name());
         let mut t = Table::new(vec!["allocation", "within-stage ATE", "95% CI"]);
         for s in &stages {
-            t.row(vec![format!("{:.0}%", s.allocation * 100.0), pct(s.ate.relative), pct_ci(s.ate.ci95)]);
+            t.row(vec![
+                format!("{:.0}%", s.allocation * 100.0),
+                pct(s.ate.relative),
+                pct_ci(s.ate.ci95),
+            ]);
         }
         println!("{}", t.render());
         println!(

@@ -3,8 +3,8 @@ use expstats::table::{pct, Table};
 use streamsim::scenario::AllocationSchedule;
 use streamsim::session::LinkId;
 use streamsim::sim::PairedSim;
-use unbiased::dataset::Dataset;
 use unbiased::analysis::unit_effect;
+use unbiased::dataset::Dataset;
 
 fn main() {
     let cfg = repro_bench::paired_config(0.35, 5);
@@ -17,8 +17,12 @@ fn main() {
     let data = Dataset::new(run.sessions);
     let l1 = data.filter(|r| r.link == LinkId::One);
     let l2 = data.filter(|r| r.link == LinkId::Two);
-    println!("Baseline week: {} sessions on link 1 ({:.1}%), {} on link 2\n",
-        l1.len(), 100.0 * l1.len() as f64 / data.len() as f64, l2.len());
+    println!(
+        "Baseline week: {} sessions on link 1 ({:.1}%), {} on link 2\n",
+        l1.len(),
+        100.0 * l1.len() as f64 / data.len() as f64,
+        l2.len()
+    );
     let mut t = Table::new(vec!["metric", "link1 vs link2", "95% CI", "significant"]);
     for m in repro_bench::figure5_metrics() {
         let base = Dataset::mean(&l2, m);
@@ -27,7 +31,11 @@ fn main() {
                 m.name().to_string(),
                 pct(e.relative),
                 expstats::table::pct_ci(e.ci95),
-                if e.significant() { "yes".into() } else { String::new() },
+                if e.significant() {
+                    "yes".into()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }

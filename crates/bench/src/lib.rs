@@ -7,6 +7,10 @@
 //! the correspondence. Shapes, not absolute magnitudes, are the
 //! reproduction target.
 
+pub mod runner;
+
+pub use runner::{derive_seeds, metric_across_seeds, Runner, SeedRun};
+
 use dessim::SimDuration;
 use netsim::config::{AppConfig, CcKind, DumbbellConfig};
 use streamsim::config::StreamConfig;
@@ -107,7 +111,12 @@ mod tests {
     fn mixed_apps_counts() {
         let apps = mixed_apps(10, 3, |t| {
             if t {
-                AppConfig { connections: 2, cc: CcKind::Reno, paced: false, pacing_ca_factor: 1.2 }
+                AppConfig {
+                    connections: 2,
+                    cc: CcKind::Reno,
+                    paced: false,
+                    pacing_ca_factor: 1.2,
+                }
             } else {
                 plain(CcKind::Reno)
             }

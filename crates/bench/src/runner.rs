@@ -1,0 +1,248 @@
+//! Multi-seed parallel scenario runner.
+//!
+//! Replication sweeps are the workhorse of every figure and of the
+//! replication-hungry tests: run the same scenario under many seeds,
+//! collect per-seed metrics, aggregate. This module fans those
+//! replications across `std::thread` workers while keeping the results
+//! **bit-identical to sequential execution**:
+//!
+//! * every replication derives its own seed up front (either an
+//!   explicit seed list or a SplitMix64 stream forked from a root
+//!   seed), so no RNG state is shared between workers;
+//! * results are written back into their replication's slot, so output
+//!   order is the seed order regardless of which worker finished first.
+//!
+//! ```
+//! use repro_bench::runner::Runner;
+//!
+//! let runner = Runner::new();
+//! let runs = runner.sweep(&3u64, &[1, 2, 3], |mult, seed| seed * mult);
+//! assert_eq!(runs.iter().map(|r| r.result).collect::<Vec<_>>(), vec![3, 6, 9]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dessim::SimRng;
+use netsim::config::DumbbellConfig;
+use netsim::{run_dumbbell, LabResult};
+
+/// One replication's outcome, tagged with the seed that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedRun<R> {
+    /// Seed the scenario ran under.
+    pub seed: u64,
+    /// Whatever the scenario function returned.
+    pub result: R,
+}
+
+/// Derive `n` replication seeds from a root seed.
+///
+/// Uses the same SplitMix64 forking discipline as [`dessim::SimRng`]:
+/// the stream depends only on `(root, n)`'s prefix, so extending a
+/// sweep from 8 to 16 replications keeps the first 8 seeds (and hence
+/// their results) unchanged.
+pub fn derive_seeds(root: u64, n: usize) -> Vec<u64> {
+    let mut rng = SimRng::new(root);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+/// A fixed-size pool specification for running scenario replications in
+/// parallel.
+///
+/// `Runner` holds no threads itself; each sweep spins up scoped workers
+/// that pull replication indices off a shared atomic counter (dynamic
+/// load balancing — congested-seed replications don't stall the rest of
+/// the sweep).
+#[derive(Debug, Clone)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// Runner using all available cores.
+    pub fn new() -> Runner {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Runner { threads }
+    }
+
+    /// Runner with an explicit worker count (`with_threads(1)` is exact
+    /// sequential execution; useful for parity checks).
+    pub fn with_threads(threads: usize) -> Runner {
+        assert!(threads > 0, "runner needs at least one worker");
+        Runner { threads }
+    }
+
+    /// Number of workers a sweep will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over every job, in parallel, preserving job order in the
+    /// output.
+    ///
+    /// A panic in any job propagates to the caller once all workers
+    /// have stopped picking up new work.
+    pub fn map<J, R, F>(&self, jobs: &[J], f: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        let workers = self.threads.min(jobs.len()).max(1);
+        if workers == 1 {
+            return jobs.iter().map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        return;
+                    }
+                    let r = f(&jobs[i]);
+                    slots.lock().unwrap()[i] = Some(r);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every job slot filled"))
+            .collect()
+    }
+
+    /// Run `scenario(cfg, seed)` once per seed, in parallel; results
+    /// come back in seed-list order and are identical to running the
+    /// seeds sequentially.
+    pub fn sweep<C, R, F>(&self, cfg: &C, seeds: &[u64], scenario: F) -> Vec<SeedRun<R>>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&C, u64) -> R + Sync,
+    {
+        self.map(seeds, |&seed| SeedRun {
+            seed,
+            result: scenario(cfg, seed),
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// [`Runner::sweep`] over `replications` seeds forked from
+    /// `root_seed` via [`derive_seeds`].
+    pub fn sweep_root<C, R, F>(
+        &self,
+        cfg: &C,
+        root_seed: u64,
+        replications: usize,
+        scenario: F,
+    ) -> Vec<SeedRun<R>>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&C, u64) -> R + Sync,
+    {
+        self.sweep(cfg, &derive_seeds(root_seed, replications), scenario)
+    }
+
+    /// Sweep the lab dumbbell scenario: each replication reruns
+    /// `run_dumbbell` with the config's seed replaced by the
+    /// replication seed.
+    pub fn sweep_dumbbell(&self, cfg: &DumbbellConfig, seeds: &[u64]) -> Vec<SeedRun<LabResult>> {
+        self.sweep(cfg, seeds, |cfg, seed| {
+            let mut cfg = cfg.clone();
+            cfg.seed = seed;
+            run_dumbbell(&cfg).expect("sweep config must be valid")
+        })
+    }
+}
+
+/// Extract one scalar metric from every replication (e.g. for a mean ±
+/// CI across seeds via `expstats`).
+pub fn metric_across_seeds<R>(runs: &[SeedRun<R>], metric: impl Fn(&R) -> f64) -> Vec<f64> {
+    runs.iter().map(|r| metric(&r.result)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let runner = Runner::with_threads(4);
+        let jobs: Vec<u64> = (0..100).collect();
+        assert_eq!(
+            runner.map(&jobs, |j| j * 2),
+            (0..100).map(|j| j * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sweep_matches_sequential() {
+        let seeds = derive_seeds(42, 32);
+        let scenario = |mult: &u64, seed: u64| {
+            // Seed-dependent pseudo-work with seed-dependent duration,
+            // so workers finish out of order.
+            let mut rng = SimRng::new(seed);
+            let spins = 10 + (seed % 1000);
+            let mut acc = 0.0;
+            for _ in 0..spins {
+                acc += rng.uniform01();
+            }
+            acc * *mult as f64
+        };
+        let par = Runner::with_threads(8).sweep(&3u64, &seeds, scenario);
+        let seq = Runner::with_threads(1).sweep(&3u64, &seeds, scenario);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn derive_seeds_prefix_stable() {
+        let short = derive_seeds(7, 8);
+        let long = derive_seeds(7, 16);
+        assert_eq!(short[..], long[..8]);
+        // Distinct seeds throughout.
+        let mut sorted = long.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), long.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        Runner::with_threads(2).map(&[1u64, 2, 3, 4], |&j| {
+            assert!(j != 3, "boom");
+            j
+        });
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let runs = vec![
+            SeedRun {
+                seed: 1,
+                result: 2.0f64,
+            },
+            SeedRun {
+                seed: 2,
+                result: 4.0f64,
+            },
+        ];
+        assert_eq!(metric_across_seeds(&runs, |r| r * 10.0), vec![20.0, 40.0]);
+    }
+}

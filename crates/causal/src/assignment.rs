@@ -24,7 +24,9 @@ impl Assignment {
     pub fn bernoulli(n: usize, p: f64, seed: u64) -> Assignment {
         assert!((0.0..=1.0).contains(&p), "allocation must be in [0,1]");
         let mut rng = SplitMix64::new(seed);
-        Assignment { arms: (0..n).map(|_| rng.next_f64() < p).collect() }
+        Assignment {
+            arms: (0..n).map(|_| rng.next_f64() < p).collect(),
+        }
     }
 
     /// Complete randomization: exactly `k` of `n` units treated
@@ -51,7 +53,9 @@ impl Assignment {
         let max_cluster = clusters.iter().copied().max().map_or(0, |m| m + 1);
         let mut rng = SplitMix64::new(seed);
         let cluster_arm: Vec<bool> = (0..max_cluster).map(|_| rng.next_f64() < p).collect();
-        Assignment { arms: clusters.iter().map(|&c| cluster_arm[c]).collect() }
+        Assignment {
+            arms: clusters.iter().map(|&c| cluster_arm[c]).collect(),
+        }
     }
 
     /// Number of units.
@@ -112,7 +116,9 @@ impl SwitchbackPlan {
     /// Random plan over `n_intervals` (seeded).
     pub fn random(n_intervals: usize, seed: u64) -> SwitchbackPlan {
         let mut rng = SplitMix64::new(seed);
-        SwitchbackPlan { intervals: (0..n_intervals).map(|_| rng.next_f64() < 0.5).collect() }
+        SwitchbackPlan {
+            intervals: (0..n_intervals).map(|_| rng.next_f64() < 0.5).collect(),
+        }
     }
 
     /// Random plan guaranteed to include at least one treated and one
@@ -128,14 +134,18 @@ impl SwitchbackPlan {
             }
         }
         // Probability of reaching here is 2^-63; alternate determinately.
-        SwitchbackPlan { intervals: (0..n_intervals).map(|i| i % 2 == 0).collect() }
+        SwitchbackPlan {
+            intervals: (0..n_intervals).map(|i| i % 2 == 0).collect(),
+        }
     }
 
     /// Strict alternation starting from `start_treated` (used by the
     /// paper's emulated switchback: treatment on days 1, 3, 5).
     pub fn alternating(n_intervals: usize, start_treated: bool) -> SwitchbackPlan {
         SwitchbackPlan {
-            intervals: (0..n_intervals).map(|i| (i % 2 == 0) == start_treated).collect(),
+            intervals: (0..n_intervals)
+                .map(|i| (i % 2 == 0) == start_treated)
+                .collect(),
         }
     }
 
@@ -177,8 +187,14 @@ mod tests {
 
     #[test]
     fn bernoulli_deterministic_per_seed() {
-        assert_eq!(Assignment::bernoulli(1000, 0.5, 9), Assignment::bernoulli(1000, 0.5, 9));
-        assert_ne!(Assignment::bernoulli(1000, 0.5, 9), Assignment::bernoulli(1000, 0.5, 10));
+        assert_eq!(
+            Assignment::bernoulli(1000, 0.5, 9),
+            Assignment::bernoulli(1000, 0.5, 9)
+        );
+        assert_ne!(
+            Assignment::bernoulli(1000, 0.5, 9),
+            Assignment::bernoulli(1000, 0.5, 10)
+        );
     }
 
     #[test]
@@ -202,9 +218,9 @@ mod tests {
         let reps = 2000;
         for seed in 0..reps {
             let a = Assignment::complete(20, 5, seed);
-            for i in 0..20 {
+            for (i, h) in hits.iter_mut().enumerate() {
                 if a.arm(i) {
-                    hits[i] += 1;
+                    *h += 1;
                 }
             }
         }

@@ -110,7 +110,12 @@ mod tests {
         // Shaped like the paper's Figure 7: both A/B tests say capped
         // traffic is ~5% slower, but capping the majority raised both
         // cell means on that link.
-        Estimands { mu_t_hi: 1.12, mu_c_hi: 1.16, mu_t_lo: 0.95, mu_c_lo: 1.00 }
+        Estimands {
+            mu_t_hi: 1.12,
+            mu_c_hi: 1.16,
+            mu_t_lo: 0.95,
+            mu_c_lo: 1.00,
+        }
     }
 
     #[test]
@@ -129,7 +134,12 @@ mod tests {
 
     #[test]
     fn relative_normalization() {
-        let e = Estimands { mu_t_hi: 224.0, mu_c_hi: 232.0, mu_t_lo: 190.0, mu_c_lo: 200.0 };
+        let e = Estimands {
+            mu_t_hi: 224.0,
+            mu_c_hi: 232.0,
+            mu_t_lo: 190.0,
+            mu_c_lo: 200.0,
+        };
         let r = e.relative_to_global_control();
         assert!((r.tte - 0.12).abs() < 1e-12);
         assert!((r.spillover - 0.16).abs() < 1e-12);
@@ -146,7 +156,12 @@ mod tests {
 
     #[test]
     fn no_sign_flip_when_consistent() {
-        let e = Estimands { mu_t_hi: 1.2, mu_c_hi: 1.0, mu_t_lo: 1.1, mu_c_lo: 1.0 };
+        let e = Estimands {
+            mu_t_hi: 1.2,
+            mu_c_hi: 1.0,
+            mu_t_lo: 1.1,
+            mu_c_lo: 1.0,
+        };
         assert!(!e.relative_to_global_control().sign_flip());
     }
 }

@@ -16,10 +16,16 @@ pub fn naive_ab(outcomes: &[f64], assignment: &Assignment, level: f64) -> Result
             context: "naive_ab: outcomes and assignment lengths differ",
         });
     }
-    let treated: Vec<f64> =
-        assignment.treated().into_iter().map(|i| outcomes[i]).collect();
-    let control: Vec<f64> =
-        assignment.control().into_iter().map(|i| outcomes[i]).collect();
+    let treated: Vec<f64> = assignment
+        .treated()
+        .into_iter()
+        .map(|i| outcomes[i])
+        .collect();
+    let control: Vec<f64> = assignment
+        .control()
+        .into_iter()
+        .map(|i| outcomes[i])
+        .collect();
     diff_in_means(&treated, &control, level)
 }
 
@@ -33,7 +39,10 @@ pub fn arm_means(outcomes: &[f64], assignment: &Assignment) -> Result<(f64, f64)
     let t = assignment.treated();
     let c = assignment.control();
     if t.is_empty() || c.is_empty() {
-        return Err(StatsError::TooFewObservations { got: t.len().min(c.len()), need: 1 });
+        return Err(StatsError::TooFewObservations {
+            got: t.len().min(c.len()),
+            need: 1,
+        });
     }
     let mt = t.iter().map(|&i| outcomes[i]).sum::<f64>() / t.len() as f64;
     let mc = c.iter().map(|&i| outcomes[i]).sum::<f64>() / c.len() as f64;
@@ -44,11 +53,7 @@ pub fn arm_means(outcomes: &[f64], assignment: &Assignment) -> Result<(f64, f64)
 /// different cells (e.g. treated sessions on link 1 vs control sessions
 /// on link 2) — the cross-cell estimator used for TTE and spillover in
 /// the paired design, at the unit level.
-pub fn cross_cell_diff(
-    cell_a: &[f64],
-    cell_b: &[f64],
-    level: f64,
-) -> Result<DiffEstimate> {
+pub fn cross_cell_diff(cell_a: &[f64], cell_b: &[f64], level: f64) -> Result<DiffEstimate> {
     diff_in_means(cell_a, cell_b, level)
 }
 
@@ -69,7 +74,9 @@ mod tests {
     use crate::potential::{FairShare, LinearInterference, NoInterference, PotentialOutcomes};
 
     fn realize(model: &impl PotentialOutcomes, assignment: &Assignment) -> Vec<f64> {
-        (0..model.n()).map(|i| model.outcome(i, assignment)).collect()
+        (0..model.n())
+            .map(|i| model.outcome(i, assignment))
+            .collect()
     }
 
     #[test]
@@ -77,7 +84,10 @@ mod tests {
         // Average the estimator over many assignments: must converge to
         // the true effect when SUTVA holds.
         let baselines: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
-        let model = NoInterference { baselines, effect: 2.5 };
+        let model = NoInterference {
+            baselines,
+            effect: 2.5,
+        };
         let mut sum = 0.0;
         let reps = 300;
         for seed in 0..reps {
@@ -93,7 +103,12 @@ mod tests {
     fn naive_ab_biased_for_tte_under_fair_share() {
         // FairShare: true TTE = 0, but the A/B estimate is ~+100% of the
         // control mean at every allocation.
-        let model = FairShare { n: 100, capacity: 100.0, weight_treated: 2.0, weight_control: 1.0 };
+        let model = FairShare {
+            n: 100,
+            capacity: 100.0,
+            weight_treated: 2.0,
+            weight_control: 1.0,
+        };
         let a = Assignment::complete(100, 10, 7);
         let y = realize(&model, &a);
         let est = naive_ab(&y, &a, 0.95).unwrap();
@@ -122,12 +137,21 @@ mod tests {
         let control_lo: Vec<f64> = lo.control().into_iter().map(|i| y_lo[i]).collect();
         let est = cross_cell_diff(&treated_hi, &control_lo, 0.95).unwrap();
         let approx_true = model.mu_t(0.95) - model.mu_c(0.05);
-        assert!((est.estimate - approx_true).abs() < 0.05, "{} vs {approx_true}", est.estimate);
+        assert!(
+            (est.estimate - approx_true).abs() < 0.05,
+            "{} vs {approx_true}",
+            est.estimate
+        );
     }
 
     #[test]
     fn relative_scales_interval() {
-        let d = DiffEstimate { estimate: 5.0, se: 1.0, ci: (3.0, 7.0), dof: 10.0 };
+        let d = DiffEstimate {
+            estimate: 5.0,
+            se: 1.0,
+            ci: (3.0, 7.0),
+            dof: 10.0,
+        };
         let r = relative(&d, 50.0).unwrap();
         assert!((r.estimate - 0.1).abs() < 1e-12);
         assert!((r.ci.0 - 0.06).abs() < 1e-12);

@@ -49,16 +49,32 @@ impl ExposureCurves {
                     cnt_c += 1;
                 }
             }
-            mu_t.push(if cnt_t > 0 { sum_t / cnt_t as f64 } else { f64::NAN });
-            mu_c.push(if cnt_c > 0 { sum_c / cnt_c as f64 } else { f64::NAN });
+            mu_t.push(if cnt_t > 0 {
+                sum_t / cnt_t as f64
+            } else {
+                f64::NAN
+            });
+            mu_c.push(if cnt_c > 0 {
+                sum_c / cnt_c as f64
+            } else {
+                f64::NAN
+            });
         }
-        ExposureCurves { ps: grid.to_vec(), mu_t, mu_c }
+        ExposureCurves {
+            ps: grid.to_vec(),
+            mu_t,
+            mu_c,
+        }
     }
 
     /// The ATE curve `τ(p) = μ_T(p) − μ_C(p)` (NaN at the endpoints
     /// where one arm is empty).
     pub fn ate_curve(&self) -> Vec<f64> {
-        self.mu_t.iter().zip(&self.mu_c).map(|(t, c)| t - c).collect()
+        self.mu_t
+            .iter()
+            .zip(&self.mu_c)
+            .map(|(t, c)| t - c)
+            .collect()
     }
 
     /// Spillover curve `s(p) = μ_C(p) − μ_C(0)`; requires the grid to
@@ -97,7 +113,9 @@ impl ExposureCurves {
 /// A standard allocation grid including both endpoints.
 pub fn standard_grid(points: usize) -> Vec<f64> {
     assert!(points >= 2, "grid needs at least the endpoints");
-    (0..points).map(|i| i as f64 / (points - 1) as f64).collect()
+    (0..points)
+        .map(|i| i as f64 / (points - 1) as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -116,7 +134,10 @@ mod tests {
 
     #[test]
     fn flat_curves_without_interference() {
-        let model = NoInterference { baselines: vec![1.0; 50], effect: 2.0 };
+        let model = NoInterference {
+            baselines: vec![1.0; 50],
+            effect: 2.0,
+        };
         let curves = ExposureCurves::sample(&model, &standard_grid(6), 20, 1);
         // μT = 3 and μC = 1 at every p where defined.
         for (i, &p) in curves.ps.iter().enumerate() {
@@ -133,7 +154,12 @@ mod tests {
 
     #[test]
     fn fair_share_curves_decline_with_allocation() {
-        let model = FairShare { n: 10, capacity: 10.0, weight_treated: 2.0, weight_control: 1.0 };
+        let model = FairShare {
+            n: 10,
+            capacity: 10.0,
+            weight_treated: 2.0,
+            weight_control: 1.0,
+        };
         let curves = ExposureCurves::sample(&model, &standard_grid(11), 5, 2);
         // Treated mean falls from 2C/(n+1)·... down to C/n as p → 1.
         let first_t = curves.mu_t[1];
@@ -150,7 +176,10 @@ mod tests {
 
     #[test]
     fn endpoint_arms_are_nan() {
-        let model = NoInterference { baselines: vec![1.0; 10], effect: 1.0 };
+        let model = NoInterference {
+            baselines: vec![1.0; 10],
+            effect: 1.0,
+        };
         let curves = ExposureCurves::sample(&model, &[0.0, 1.0], 3, 3);
         assert!(curves.mu_t[0].is_nan(), "no treated units at p=0");
         assert!(curves.mu_c[1].is_nan(), "no control units at p=1");

@@ -62,7 +62,12 @@ impl PotentialOutcomes for NoInterference {
     }
 
     fn outcome(&self, unit: usize, assignment: &Assignment) -> f64 {
-        self.baselines[unit] + if assignment.arm(unit) { self.effect } else { 0.0 }
+        self.baselines[unit]
+            + if assignment.arm(unit) {
+                self.effect
+            } else {
+                0.0
+            }
     }
 }
 
@@ -99,7 +104,11 @@ impl PotentialOutcomes for FairShare {
     }
 
     fn outcome(&self, unit: usize, assignment: &Assignment) -> f64 {
-        let w = if assignment.arm(unit) { self.weight_treated } else { self.weight_control };
+        let w = if assignment.arm(unit) {
+            self.weight_treated
+        } else {
+            self.weight_control
+        };
         self.capacity * w / self.total_weight(assignment)
     }
 }
@@ -186,7 +195,11 @@ impl PotentialOutcomes for LinearInterference {
 
     fn outcome(&self, unit: usize, assignment: &Assignment) -> f64 {
         let p = assignment.treated_fraction();
-        let base = if assignment.arm(unit) { self.mu_t(p) } else { self.mu_c(p) };
+        let base = if assignment.arm(unit) {
+            self.mu_t(p)
+        } else {
+            self.mu_c(p)
+        };
         base + self.unit_offset(unit)
     }
 }
@@ -197,7 +210,10 @@ mod tests {
 
     #[test]
     fn no_interference_tte_equals_effect() {
-        let m = NoInterference { baselines: vec![1.0, 2.0, 3.0, 4.0], effect: 0.5 };
+        let m = NoInterference {
+            baselines: vec![1.0, 2.0, 3.0, 4.0],
+            effect: 0.5,
+        };
         assert!((m.true_tte() - 0.5).abs() < 1e-12);
     }
 
@@ -205,7 +221,12 @@ mod tests {
     fn fair_share_reproduces_parallel_connections_math() {
         // 10 apps, capacity C: with k treated (2 connections each),
         // treated get 2C/(10+k), control get C/(10+k).
-        let m = FairShare { n: 10, capacity: 10.0, weight_treated: 2.0, weight_control: 1.0 };
+        let m = FairShare {
+            n: 10,
+            capacity: 10.0,
+            weight_treated: 2.0,
+            weight_control: 1.0,
+        };
         for k in 1..10 {
             let mut arms = vec![false; 10];
             for a in arms.iter_mut().take(k) {
@@ -228,7 +249,12 @@ mod tests {
     fn fair_share_spillover_is_negative() {
         // Treating 9 of 10 units lowers the control unit's share by 9/19
         // relative to the all-control world: 10/19 vs 1 per unit.
-        let m = FairShare { n: 10, capacity: 10.0, weight_treated: 2.0, weight_control: 1.0 };
+        let m = FairShare {
+            n: 10,
+            capacity: 10.0,
+            weight_treated: 2.0,
+            weight_control: 1.0,
+        };
         let mut arms = vec![true; 10];
         arms[9] = false;
         let assign = Assignment::from_vec(arms);

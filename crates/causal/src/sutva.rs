@@ -22,7 +22,11 @@ pub fn test_effect_equality(a: &DiffEstimate, b: &DiffEstimate) -> Result<TestRe
     }
     let z = (a.estimate - b.estimate) / se;
     let p = 2.0 * (1.0 - norm_cdf(z.abs()));
-    Ok(TestResult { statistic: z, p_value: p.clamp(0.0, 1.0), dof: f64::INFINITY })
+    Ok(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+        dof: f64::INFINITY,
+    })
 }
 
 /// z-test that a spillover estimate is zero.
@@ -34,7 +38,11 @@ pub fn test_spillover_zero(s: &DiffEstimate) -> Result<TestResult> {
     }
     let z = s.estimate / s.se;
     let p = 2.0 * (1.0 - norm_cdf(z.abs()));
-    Ok(TestResult { statistic: z, p_value: p.clamp(0.0, 1.0), dof: f64::INFINITY })
+    Ok(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+        dof: f64::INFINITY,
+    })
 }
 
 /// Trend test: regress per-allocation ATE estimates on the allocation
@@ -47,7 +55,10 @@ pub fn dose_response_trend(allocations: &[f64], ates: &[DiffEstimate]) -> Result
         });
     }
     if allocations.len() < 3 {
-        return Err(StatsError::TooFewObservations { got: allocations.len(), need: 3 });
+        return Err(StatsError::TooFewObservations {
+            got: allocations.len(),
+            need: 3,
+        });
     }
     let y: Vec<f64> = ates.iter().map(|a| a.estimate).collect();
     let x = DesignBuilder::new()
@@ -57,7 +68,11 @@ pub fn dose_response_trend(allocations: &[f64], ates: &[DiffEstimate]) -> Result
     let fit = Ols::fit(x, &y)?;
     let t = fit.t_stat(1, CovEstimator::Hc1)?;
     let p = fit.p_value(1, CovEstimator::Hc1)?;
-    Ok(TestResult { statistic: t, p_value: p, dof: fit.dof() })
+    Ok(TestResult {
+        statistic: t,
+        p_value: p,
+        dof: fit.dof(),
+    })
 }
 
 /// Summary verdict over a set of interference diagnostics.
@@ -99,7 +114,12 @@ impl InterferenceReport {
         } else {
             None
         };
-        Ok(InterferenceReport { ate_equality, spillover_zero, trend, alpha })
+        Ok(InterferenceReport {
+            ate_equality,
+            spillover_zero,
+            trend,
+            alpha,
+        })
     }
 
     /// Whether any diagnostic rejects its no-interference null at `alpha`.
@@ -115,7 +135,12 @@ mod tests {
     use super::*;
 
     fn est(e: f64, se: f64) -> DiffEstimate {
-        DiffEstimate { estimate: e, se, ci: (e - 1.96 * se, e + 1.96 * se), dof: 100.0 }
+        DiffEstimate {
+            estimate: e,
+            se,
+            ci: (e - 1.96 * se, e + 1.96 * se),
+            dof: 100.0,
+        }
     }
 
     #[test]
@@ -140,8 +165,10 @@ mod tests {
     fn trend_detects_sloped_dose_response() {
         let ps = [0.1f64, 0.3, 0.5, 0.7, 0.9];
         // ATE shrinks with allocation: strong interference signal.
-        let ates: Vec<DiffEstimate> =
-            ps.iter().map(|&p| est(2.0 - 1.5 * p + 0.01 * (p * 37.0).sin(), 0.05)).collect();
+        let ates: Vec<DiffEstimate> = ps
+            .iter()
+            .map(|&p| est(2.0 - 1.5 * p + 0.01 * (p * 37.0).sin(), 0.05))
+            .collect();
         let r = dose_response_trend(&ps, &ates).unwrap();
         assert!(r.p_value < 0.01, "p {}", r.p_value);
         assert!(r.statistic < 0.0);
@@ -151,8 +178,7 @@ mod tests {
     fn trend_flat_curve_not_significant() {
         let ps = [0.1f64, 0.3, 0.5, 0.7, 0.9];
         let noise = [0.03, -0.02, 0.01, -0.03, 0.02];
-        let ates: Vec<DiffEstimate> =
-            noise.iter().map(|&n| est(1.0 + n, 0.05)).collect();
+        let ates: Vec<DiffEstimate> = noise.iter().map(|&n| est(1.0 + n, 0.05)).collect();
         let r = dose_response_trend(&ps, &ates).unwrap();
         assert!(r.p_value > 0.05, "p {}", r.p_value);
     }

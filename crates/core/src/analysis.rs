@@ -55,7 +55,9 @@ pub fn unit_effect(
     let c = crate::dataset::Dataset::values(control, metric);
     let d = diff_in_means(&t, &c, 0.95)?;
     if baseline == 0.0 || !baseline.is_finite() {
-        return Err(StatsError::InvalidParameter { context: "unit_effect: bad baseline" });
+        return Err(StatsError::InvalidParameter {
+            context: "unit_effect: bad baseline",
+        });
     }
     let r = d.scaled(1.0 / baseline);
     Ok(EffectEstimate {
@@ -78,11 +80,42 @@ pub fn hourly_effect(
     control: &[&SessionRecord],
     baseline: f64,
 ) -> Result<EffectEstimate> {
+    hourly_effect_impl(metric, treated, control, baseline, false)
+}
+
+/// [`hourly_effect`] with a weekend fixed effect added to the
+/// regression.
+///
+/// Comparisons whose arms live on *different days* (switchbacks and
+/// their A/A calibrations) confound the treatment with day-of-week
+/// demand shifts — e.g. an alternating plan over the paper's Wed→Sat
+/// run puts the boosted-demand Saturday entirely in one arm. The
+/// weekend dummy differences that shift out. Falls back to the plain
+/// regression when the dummy is degenerate (all cells on the same kind
+/// of day) or collinear with the arm (treated days ≡ weekend days).
+pub fn hourly_effect_weekend_adjusted(
+    metric: Metric,
+    treated: &[&SessionRecord],
+    control: &[&SessionRecord],
+    baseline: f64,
+) -> Result<EffectEstimate> {
+    hourly_effect_impl(metric, treated, control, baseline, true)
+}
+
+fn hourly_effect_impl(
+    metric: Metric,
+    treated: &[&SessionRecord],
+    control: &[&SessionRecord],
+    baseline: f64,
+    weekend_fe: bool,
+) -> Result<EffectEstimate> {
     if baseline == 0.0 || !baseline.is_finite() {
-        return Err(StatsError::InvalidParameter { context: "hourly_effect: bad baseline" });
+        return Err(StatsError::InvalidParameter {
+            context: "hourly_effect: bad baseline",
+        });
     }
-    let cells_t = crate::dataset::Dataset::hourly_means(treated, metric);
-    let cells_c = crate::dataset::Dataset::hourly_means(control, metric);
+    let cells_t = crate::dataset::Dataset::hourly_cells(treated, metric);
+    let cells_c = crate::dataset::Dataset::hourly_cells(control, metric);
     if cells_t.len() < 3 || cells_c.len() < 3 {
         return Err(StatsError::TooFewObservations {
             got: cells_t.len().min(cells_c.len()),
@@ -91,29 +124,49 @@ pub fn hourly_effect(
     }
 
     // Interleave both arms in time order so the HAC window spans
-    // neighbouring hours.
-    let mut rows: Vec<(usize, usize, f64, f64)> = Vec::new(); // (day, hour, arm, z)
-    for &(d, h, z) in &cells_t {
-        rows.push((d, h, 1.0, z));
+    // neighbouring hours. Row: (day, hour, arm, weekend, z).
+    let mut rows: Vec<(usize, usize, f64, f64, f64)> = Vec::new();
+    for c in &cells_t {
+        rows.push((c.day, c.hour, 1.0, c.weekend as u8 as f64, c.mean));
     }
-    for &(d, h, z) in &cells_c {
-        rows.push((d, h, 0.0, z));
+    for c in &cells_c {
+        rows.push((c.day, c.hour, 0.0, c.weekend as u8 as f64, c.mean));
     }
-    rows.sort_by_key(|&(d, h, a, _)| (d, h, a as i64));
+    rows.sort_by_key(|&(d, h, a, _, _)| (d, h, a as i64));
 
     let n = rows.len();
-    let y: Vec<f64> = rows.iter().map(|r| r.3).collect();
+    let y: Vec<f64> = rows.iter().map(|r| r.4).collect();
     let arm: Vec<f64> = rows.iter().map(|r| r.2).collect();
     let hours: Vec<usize> = rows.iter().map(|r| r.1).collect();
+    let weekend: Vec<f64> = rows.iter().map(|r| r.3).collect();
+    // The dummy only identifies when both kinds of day are present and
+    // it is not an exact (anti-)copy of the arm indicator (treated days
+    // ≡ weekend days) — checked explicitly, rather than trusting the
+    // Cholesky pivot to detect the singular Gram matrix exactly in
+    // floating point.
+    let varies = weekend.iter().any(|&w| w != weekend[0]);
+    let copies_arm = weekend.iter().zip(&arm).all(|(&w, &a)| w == a)
+        || weekend.iter().zip(&arm).all(|(&w, &a)| w == 1.0 - a);
+    let use_weekend = weekend_fe && varies && !copies_arm;
 
-    let x = DesignBuilder::new()
-        .intercept(n)?
-        .column("treated", &arm)?
-        .dummies("hour", &hours)?
-        .build()?;
-    let fit = Ols::fit(x, &y)?;
+    let design = |with_weekend: bool| -> Result<_> {
+        let mut b = DesignBuilder::new().intercept(n)?.column("treated", &arm)?;
+        if with_weekend {
+            b = b.column("weekend", &weekend)?;
+        }
+        b.dummies("hour", &hours)?.build()
+    };
+    let fit = match Ols::fit(design(use_weekend)?, &y) {
+        Ok(fit) => fit,
+        // Treated days ≡ weekend days makes the dummy collinear with the
+        // arm; the adjustment is impossible, report the plain contrast.
+        Err(StatsError::RankDeficient) if use_weekend => Ols::fit(design(false)?, &y)?,
+        Err(e) => return Err(e),
+    };
     let est = fit.coef[1];
-    let se = fit.std_errors(CovEstimator::NeweyWest { lag: NEWEY_WEST_LAG })?[1];
+    let se = fit.std_errors(CovEstimator::NeweyWest {
+        lag: NEWEY_WEST_LAG,
+    })?[1];
     let tcrit = t_critical(0.95, fit.dof());
     Ok(EffectEstimate {
         metric,
@@ -135,6 +188,7 @@ mod tests {
             link: LinkId::One,
             day,
             hour,
+            weekend: false,
             arrival_s: (day * 86_400 + hour * 3600) as f64,
             treated,
             throughput_bps: tput,
@@ -202,7 +256,11 @@ mod tests {
         let mut c = Vec::new();
         for day in 0..5 {
             for hour in 0..24 {
-                let base = if (8..16).contains(&hour) { 200.0 } else { 100.0 };
+                let base = if (8..16).contains(&hour) {
+                    200.0
+                } else {
+                    100.0
+                };
                 let nt = if (8..16).contains(&hour) { 4 } else { 1 };
                 for k in 0..4 {
                     c.push(rec(false, day, hour, base + k as f64));
@@ -225,8 +283,12 @@ mod tests {
 
     #[test]
     fn unit_effect_matches_simple_difference() {
-        let t: Vec<SessionRecord> = (0..50).map(|i| rec(true, 0, 0, 110.0 + (i % 3) as f64)).collect();
-        let c: Vec<SessionRecord> = (0..50).map(|i| rec(false, 0, 0, 100.0 + (i % 3) as f64)).collect();
+        let t: Vec<SessionRecord> = (0..50)
+            .map(|i| rec(true, 0, 0, 110.0 + (i % 3) as f64))
+            .collect();
+        let c: Vec<SessionRecord> = (0..50)
+            .map(|i| rec(false, 0, 0, 100.0 + (i % 3) as f64))
+            .collect();
         let tr: Vec<&SessionRecord> = t.iter().collect();
         let cr: Vec<&SessionRecord> = c.iter().collect();
         let e = unit_effect(Metric::Throughput, &tr, &cr, 100.0).unwrap();
@@ -244,7 +306,9 @@ mod tests {
         let mut c = Vec::new();
         let mut state = 12345u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64 / 100.0 - 5.0 // ±5
         };
         for day in 0..5 {

@@ -3,6 +3,20 @@
 
 use streamsim::session::{LinkId, Metric, SessionRecord};
 
+/// One `(day, hour)` aggregation cell (`Z_t(A)` of Appendix B) with the
+/// calendar context needed for day-of-week controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HourlyCell {
+    /// Simulation day.
+    pub day: usize,
+    /// Local hour of day.
+    pub hour: usize,
+    /// Whether the day is a weekend day.
+    pub weekend: bool,
+    /// Mean of the metric over the cell's sessions.
+    pub mean: f64,
+}
+
 /// A collection of session records with the selectors the §4/§5 analyses
 /// need.
 #[derive(Debug, Clone, Default)]
@@ -32,7 +46,10 @@ impl Dataset {
     }
 
     /// Subset by predicate.
-    pub fn filter<'a>(&'a self, pred: impl Fn(&SessionRecord) -> bool + 'a) -> Vec<&'a SessionRecord> {
+    pub fn filter<'a>(
+        &'a self,
+        pred: impl Fn(&SessionRecord) -> bool + 'a,
+    ) -> Vec<&'a SessionRecord> {
         self.records.iter().filter(|r| pred(r)).collect()
     }
 
@@ -45,7 +62,11 @@ impl Dataset {
     /// Metric values for a set of records, dropping NaNs (e.g. bitrate of
     /// cancelled sessions).
     pub fn values(records: &[&SessionRecord], metric: Metric) -> Vec<f64> {
-        records.iter().map(|r| metric.of(r)).filter(|v| v.is_finite()).collect()
+        records
+            .iter()
+            .map(|r| metric.of(r))
+            .filter(|v| v.is_finite())
+            .collect()
     }
 
     /// Mean of a metric over records (NaN-filtered).
@@ -57,19 +78,33 @@ impl Dataset {
     /// Hourly cell rows `(day, hour, mean)` of a metric over the given
     /// records — the `Z_t(A)` aggregation of Appendix B.
     pub fn hourly_means(records: &[&SessionRecord], metric: Metric) -> Vec<(usize, usize, f64)> {
+        Self::hourly_cells(records, metric)
+            .into_iter()
+            .map(|c| (c.day, c.hour, c.mean))
+            .collect()
+    }
+
+    /// Hourly cells with calendar context (weekend flag), for analyses
+    /// that control for day-of-week demand shifts.
+    pub fn hourly_cells(records: &[&SessionRecord], metric: Metric) -> Vec<HourlyCell> {
         use std::collections::BTreeMap;
-        let mut cells: BTreeMap<(usize, usize), (f64, usize)> = BTreeMap::new();
+        let mut cells: BTreeMap<(usize, usize), (f64, usize, bool)> = BTreeMap::new();
         for r in records {
             let v = metric.of(r);
             if v.is_finite() {
-                let e = cells.entry((r.day, r.hour)).or_insert((0.0, 0));
+                let e = cells.entry((r.day, r.hour)).or_insert((0.0, 0, r.weekend));
                 e.0 += v;
                 e.1 += 1;
             }
         }
         cells
             .into_iter()
-            .map(|((day, hour), (sum, n))| (day, hour, sum / n as f64))
+            .map(|((day, hour), (sum, n, weekend))| HourlyCell {
+                day,
+                hour,
+                weekend,
+                mean: sum / n as f64,
+            })
             .collect()
     }
 }
@@ -83,6 +118,7 @@ mod tests {
             link,
             day,
             hour,
+            weekend: false,
             arrival_s: (day * 86_400 + hour * 3600) as f64,
             treated,
             throughput_bps: tput,

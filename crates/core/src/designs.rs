@@ -1,7 +1,7 @@
 //! Experiment designs: naïve A/B, paired-link, switchback, event-study
 //! and gradual-deployment experiments over the streaming substrate.
 
-use crate::analysis::{hourly_effect, unit_effect, EffectEstimate};
+use crate::analysis::{hourly_effect, hourly_effect_weekend_adjusted, unit_effect, EffectEstimate};
 use crate::dataset::Dataset;
 use causal::assignment::SwitchbackPlan;
 use expstats::{Result, StatsError};
@@ -35,7 +35,12 @@ pub struct PairedOutcome {
 impl PairedLinkDesign {
     /// The paper's configuration: 95% / 5%.
     pub fn paper(cfg: StreamConfig, seed: u64) -> PairedLinkDesign {
-        PairedLinkDesign { cfg, p_hi: 0.95, p_lo: 0.05, seed }
+        PairedLinkDesign {
+            cfg,
+            p_hi: 0.95,
+            p_lo: 0.05,
+            seed,
+        }
     }
 
     /// Run both links.
@@ -49,7 +54,10 @@ impl PairedLinkDesign {
             self.seed,
         );
         let run = paired.run();
-        PairedOutcome { data: Dataset::new(run.sessions), hourly: run.hourly }
+        PairedOutcome {
+            data: Dataset::new(run.sessions),
+            hourly: run.hourly,
+        }
     }
 }
 
@@ -108,7 +116,13 @@ pub fn paired_link_effects(data: &Dataset, metric: Metric) -> Result<MetricEffec
     // TTE and spillover: hourly regression across links.
     let tte = hourly_effect(metric, &l1_t, &l2_c, baseline)?;
     let spillover = hourly_effect(metric, &l1_c, &l2_c, baseline)?;
-    Ok(MetricEffects { metric, naive_lo, naive_hi, tte, spillover })
+    Ok(MetricEffects {
+        metric,
+        naive_lo,
+        naive_hi,
+        tte,
+        spillover,
+    })
 }
 
 /// Emulated switchback (§5.3): on treatment days use the treated
@@ -151,7 +165,10 @@ pub fn switchback_emulation_with_burn_in(
             && !plan.treated(r.day)
             && fresh(r)
     });
-    hourly_effect(metric, &treated, &control, baseline)
+    // Switchback arms live on different days, so difference out the
+    // weekend demand shift (§5.3; the event-study emulation deliberately
+    // does not, which is the bias the paper demonstrates).
+    hourly_effect_weekend_adjusted(metric, &treated, &control, baseline)
 }
 
 /// Emulated event study (§5.3): control sessions of link 2 before the
@@ -193,29 +210,28 @@ pub fn aa_scan(
         let baseline = global_control_mean(data, m);
         // Pseudo-switchback: link-1 sessions on plan-treated days vs
         // link-2 sessions on control days (nobody actually treated).
-        let t: Vec<&SessionRecord> = data.filter(|r| {
-            r.link == LinkId::One && r.day < plan.len() && plan.treated(r.day)
-        });
-        let c: Vec<&SessionRecord> = data.filter(|r| {
-            r.link == LinkId::Two && r.day < plan.len() && !plan.treated(r.day)
-        });
-        if let Ok(e) = hourly_effect(m, &t, &c, baseline) {
+        let t: Vec<&SessionRecord> =
+            data.filter(|r| r.link == LinkId::One && r.day < plan.len() && plan.treated(r.day));
+        let c: Vec<&SessionRecord> =
+            data.filter(|r| r.link == LinkId::Two && r.day < plan.len() && !plan.treated(r.day));
+        if let Ok(e) = hourly_effect_weekend_adjusted(m, &t, &c, baseline) {
             if e.significant() {
                 sw.push(m);
             }
         }
         // Pseudo-event-study.
-        let t: Vec<&SessionRecord> =
-            data.filter(|r| r.link == LinkId::One && r.day >= switch_day);
-        let c: Vec<&SessionRecord> =
-            data.filter(|r| r.link == LinkId::Two && r.day < switch_day);
+        let t: Vec<&SessionRecord> = data.filter(|r| r.link == LinkId::One && r.day >= switch_day);
+        let c: Vec<&SessionRecord> = data.filter(|r| r.link == LinkId::Two && r.day < switch_day);
         if let Ok(e) = hourly_effect(m, &t, &c, baseline) {
             if e.significant() {
                 ev.push(m);
             }
         }
     }
-    AaScan { switchback_false_positives: sw, event_study_false_positives: ev }
+    AaScan {
+        switchback_false_positives: sw,
+        event_study_false_positives: ev,
+    }
 }
 
 /// A *real* (non-emulated) switchback experiment on a single link:
@@ -260,7 +276,7 @@ impl SwitchbackDesign {
             let vals = Dataset::values(&control, metric);
             expstats::mean(&vals)
         };
-        let e = hourly_effect(metric, &treated, &control, baseline)?;
+        let e = hourly_effect_weekend_adjusted(metric, &treated, &control, baseline)?;
         Ok((data, e))
     }
 }
@@ -357,8 +373,7 @@ impl GradualDeployment {
             allocs.push(p);
             estimates.push(StageEstimate { allocation: p, ate });
         }
-        let report =
-            causal::sutva::InterferenceReport::from_stages(&allocs, &ates, &[], 0.05)?;
+        let report = causal::sutva::InterferenceReport::from_stages(&allocs, &ates, &[], 0.05)?;
         Ok((estimates, report))
     }
 }
@@ -405,7 +420,11 @@ mod tests {
             tput.naive_hi.relative
         );
         let bitrate = paired_link_effects(&out.data, Metric::Bitrate).unwrap();
-        assert!(bitrate.tte.relative < -0.15, "bitrate TTE {}", bitrate.tte.relative);
+        assert!(
+            bitrate.tte.relative < -0.15,
+            "bitrate TTE {}",
+            bitrate.tte.relative
+        );
         // Min RTT improves (negative) under global capping.
         let rtt = paired_link_effects(&out.data, Metric::MinRtt).unwrap();
         assert!(rtt.tte.relative < 0.05, "min RTT TTE {}", rtt.tte.relative);
@@ -446,7 +465,11 @@ mod tests {
         let design = PairedLinkDesign::paper(fast_cfg(4), 7);
         let out = design.run();
         let ev = event_study_emulation(&out.data, 2, Metric::Bitrate).unwrap();
-        assert!(ev.relative < -0.1, "event study misses capping? {}", ev.relative);
+        assert!(
+            ev.relative < -0.1,
+            "event study misses capping? {}",
+            ev.relative
+        );
     }
 
     #[test]
@@ -480,7 +503,11 @@ mod tests {
             seed: 17,
         };
         let (_, est) = design.run_and_estimate(Metric::Bitrate).unwrap();
-        assert!(est.relative < -0.15, "switchback bitrate effect {}", est.relative);
+        assert!(
+            est.relative < -0.15,
+            "switchback bitrate effect {}",
+            est.relative
+        );
     }
 
     #[test]
@@ -488,7 +515,11 @@ mod tests {
         // The paper's core claim, on identical worlds: a plain A/B test
         // at 5% reports a much smaller throughput change than a
         // switchback's TTE estimate.
-        let ab = AbTestDesign { cfg: fast_cfg(2), p: 0.05, seed: 23 };
+        let ab = AbTestDesign {
+            cfg: fast_cfg(2),
+            p: 0.05,
+            seed: 23,
+        };
         let (_, naive) = ab.run_and_estimate(Metric::Throughput).unwrap();
         let sb = SwitchbackDesign {
             cfg: fast_cfg(4),
@@ -529,7 +560,12 @@ mod tests {
         assert!(stages.len() >= 3, "stages {}", stages.len());
         // Every stage sees the direct capping effect on bitrate.
         for s in &stages {
-            assert!(s.ate.relative < -0.05, "stage {} ate {}", s.allocation, s.ate.relative);
+            assert!(
+                s.ate.relative < -0.05,
+                "stage {} ate {}",
+                s.allocation,
+                s.ate.relative
+            );
         }
     }
 }

@@ -92,6 +92,7 @@ mod tests {
             link,
             day: 0,
             hour: 12,
+            weekend: false,
             arrival_s: 0.0,
             treated,
             throughput_bps: tput,
@@ -131,7 +132,11 @@ mod tests {
         assert!(e.naive_lo.relative.abs() < 1e-9, "{}", e.naive_lo.relative);
         assert!(e.naive_hi.relative.abs() < 1e-9);
         // Cross-link median effect ≈ 20/119.5 ≈ +16.7%.
-        assert!((e.tte.relative - 20.0 / 119.5).abs() < 0.02, "{}", e.tte.relative);
+        assert!(
+            (e.tte.relative - 20.0 / 119.5).abs() < 0.02,
+            "{}",
+            e.tte.relative
+        );
         assert!((e.spillover.relative - e.tte.relative).abs() < 1e-9);
     }
 

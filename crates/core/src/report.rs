@@ -21,7 +21,11 @@ pub fn render_effects_table(rows: &[MetricEffects]) -> String {
             format!("{} {}", pct(r.naive_hi.relative), pct_ci(r.naive_hi.ci95)),
             format!("{} {}", pct(r.tte.relative), pct_ci(r.tte.ci95)),
             format!("{} {}", pct(r.spillover.relative), pct_ci(r.spillover.ci95)),
-            if r.sign_flip() { "YES".to_string() } else { String::new() },
+            if r.sign_flip() {
+                "YES".to_string()
+            } else {
+                String::new()
+            },
         ]);
     }
     t.render()
@@ -59,9 +63,7 @@ pub fn render_time_series(label: &str, series: &[(String, Vec<f64>)]) -> String 
     for h in 0..len {
         let mut row = vec![format!("{h}")];
         for (_, vals) in series {
-            row.push(
-                vals.get(h).map(|v| format!("{v:.3}")).unwrap_or_default(),
-            );
+            row.push(vals.get(h).map(|v| format!("{v:.3}")).unwrap_or_default());
         }
         t.row(row);
     }
@@ -115,7 +117,10 @@ mod tests {
     fn time_series_renders_rows() {
         let s = render_time_series(
             "Figure 6",
-            &[("link1".into(), vec![0.5, 1.0]), ("link2".into(), vec![0.6, 0.9])],
+            &[
+                ("link1".into(), vec![0.5, 1.0]),
+                ("link2".into(), vec![0.6, 0.9]),
+            ],
         );
         assert!(s.contains("Figure 6"));
         assert!(s.lines().count() >= 4);

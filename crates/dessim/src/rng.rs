@@ -5,34 +5,51 @@
 //! component sees — a prerequisite for meaningful A/B comparisons between
 //! simulation runs.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic random stream.
 ///
-/// Wraps a fast non-cryptographic generator and layers on the
-/// distributions the simulators need (exponential, normal, Pareto —
-/// implemented here rather than pulling in `rand_distr`).
+/// Wraps a fast non-cryptographic generator (xoshiro256++, seeded via
+/// SplitMix64 — self-contained so the workspace builds offline) and
+/// layers on the distributions the simulators need (exponential,
+/// normal, Pareto — implemented here rather than pulling in
+/// `rand_distr`).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create a stream from a 64-bit seed.
     pub fn new(seed: u64) -> SimRng {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        // Expand the seed through SplitMix64, per the xoshiro authors'
+        // recommendation; guarantees a non-zero state.
+        let mut s = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
     }
 
     /// Fork an independent child stream (reproducibly derived from this
     /// stream's state).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.gen::<u64>())
+        SimRng::new(self.next_u64())
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 random mantissa bits).
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -41,10 +58,11 @@ impl SimRng {
         lo + (hi - lo) * self.uniform01()
     }
 
-    /// Uniform integer in `[0, bound)`.
+    /// Uniform integer in `[0, bound)` (Lemire's multiply-shift; the
+    /// ~2^-64 modulo bias is irrelevant at simulation scales).
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0, "below: bound must be positive");
-        self.inner.gen_range(0..bound)
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0,1]`).
@@ -84,9 +102,18 @@ impl SimRng {
         x_min / (1.0 - self.uniform01()).powf(1.0 / alpha)
     }
 
-    /// Raw 64-bit draw.
+    /// Raw 64-bit draw (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 }
 

@@ -55,7 +55,12 @@ pub struct Simulation<M: Model> {
 impl<M: Model> Simulation<M> {
     /// Wrap a model with an empty queue at time zero.
     pub fn new(model: M) -> Simulation<M> {
-        Simulation { model, queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// Current virtual time.
@@ -85,7 +90,10 @@ impl<M: Model> Simulation<M> {
             Some((t, ev)) => {
                 debug_assert!(t >= self.now, "event queue went backwards in time");
                 self.now = t;
-                let mut sched = Scheduler { now: t, queue: &mut self.queue };
+                let mut sched = Scheduler {
+                    now: t,
+                    queue: &mut self.queue,
+                };
                 self.model.handle(t, ev, &mut sched);
                 self.processed += 1;
                 true
@@ -141,7 +149,11 @@ mod tests {
 
     #[test]
     fn ticker_runs_to_completion() {
-        let mut sim = Simulation::new(Ticker { ticks: 0, limit: 5, times: vec![] });
+        let mut sim = Simulation::new(Ticker {
+            ticks: 0,
+            limit: 5,
+            times: vec![],
+        });
         sim.schedule(SimTime::ZERO, TickEvent::Tick);
         sim.run_to_completion();
         assert_eq!(sim.model.ticks, 5);
@@ -151,7 +163,11 @@ mod tests {
 
     #[test]
     fn run_until_stops_at_horizon() {
-        let mut sim = Simulation::new(Ticker { ticks: 0, limit: 100, times: vec![] });
+        let mut sim = Simulation::new(Ticker {
+            ticks: 0,
+            limit: 100,
+            times: vec![],
+        });
         sim.schedule(SimTime::ZERO, TickEvent::Tick);
         sim.run_until(SimTime::ZERO + SimDuration::from_millis(25));
         // Ticks at 0, 10, 20 ms processed; 30 ms still pending.
@@ -164,7 +180,11 @@ mod tests {
 
     #[test]
     fn time_is_monotone() {
-        let mut sim = Simulation::new(Ticker { ticks: 0, limit: 50, times: vec![] });
+        let mut sim = Simulation::new(Ticker {
+            ticks: 0,
+            limit: 50,
+            times: vec![],
+        });
         sim.schedule(SimTime::ZERO, TickEvent::Tick);
         sim.run_to_completion();
         let times = &sim.model.times;
@@ -173,7 +193,11 @@ mod tests {
 
     #[test]
     fn clock_advances_to_horizon_even_when_idle() {
-        let mut sim = Simulation::new(Ticker { ticks: 0, limit: 1, times: vec![] });
+        let mut sim = Simulation::new(Ticker {
+            ticks: 0,
+            limit: 1,
+            times: vec![],
+        });
         sim.schedule(SimTime::ZERO, TickEvent::Tick);
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
         assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(10));

@@ -32,13 +32,20 @@ where
     F: Fn(&[f64]) -> f64,
 {
     if xs.len() < 2 {
-        return Err(StatsError::TooFewObservations { got: xs.len(), need: 2 });
+        return Err(StatsError::TooFewObservations {
+            got: xs.len(),
+            need: 2,
+        });
     }
     if reps < 10 {
-        return Err(StatsError::InvalidParameter { context: "bootstrap reps must be >= 10" });
+        return Err(StatsError::InvalidParameter {
+            context: "bootstrap reps must be >= 10",
+        });
     }
     if !(0.0 < level && level < 1.0) {
-        return Err(StatsError::InvalidParameter { context: "level must be in (0,1)" });
+        return Err(StatsError::InvalidParameter {
+            context: "level must be in (0,1)",
+        });
     }
     let mut rng = SplitMix64::new(seed);
     let mut stats = Vec::with_capacity(reps);
@@ -53,7 +60,10 @@ where
     let alpha = (1.0 - level) / 2.0;
     Ok(BootstrapCi {
         estimate: statistic(xs),
-        ci: (quantile_sorted(&stats, alpha), quantile_sorted(&stats, 1.0 - alpha)),
+        ci: (
+            quantile_sorted(&stats, alpha),
+            quantile_sorted(&stats, 1.0 - alpha),
+        ),
         reps,
     })
 }
@@ -93,7 +103,10 @@ where
     let alpha = (1.0 - level) / 2.0;
     Ok(BootstrapCi {
         estimate: statistic(treat) - statistic(control),
-        ci: (quantile_sorted(&stats, alpha), quantile_sorted(&stats, 1.0 - alpha)),
+        ci: (
+            quantile_sorted(&stats, alpha),
+            quantile_sorted(&stats, 1.0 - alpha),
+        ),
         reps,
     })
 }
@@ -140,7 +153,10 @@ where
     let alpha = (1.0 - level) / 2.0;
     Ok(BootstrapCi {
         estimate: statistic(xs),
-        ci: (quantile_sorted(&stats, alpha), quantile_sorted(&stats, 1.0 - alpha)),
+        ci: (
+            quantile_sorted(&stats, alpha),
+            quantile_sorted(&stats, 1.0 - alpha),
+        ),
         reps,
     })
 }

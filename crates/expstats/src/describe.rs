@@ -57,7 +57,10 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64> {
         });
     }
     if xs.len() < 2 {
-        return Err(StatsError::TooFewObservations { got: xs.len(), need: 2 });
+        return Err(StatsError::TooFewObservations {
+            got: xs.len(),
+            need: 2,
+        });
     }
     let mx = mean(xs);
     let my = mean(ys);

@@ -350,7 +350,11 @@ pub fn t_ppf(p: f64, df: f64) -> f64 {
             * (1.0 + x * x / df).powf(-(df + 1.0) / 2.0);
         let step = f / pdf.max(1e-300);
         let next = x - step;
-        x = if next > lo && next < hi { next } else { 0.5 * (lo + hi) };
+        x = if next > lo && next < hi {
+            next
+        } else {
+            0.5 * (lo + hi)
+        };
     }
     x
 }
@@ -358,13 +362,19 @@ pub fn t_ppf(p: f64, df: f64) -> f64 {
 /// Two-sided critical value for a `level` confidence interval from the
 /// t distribution: `t_{1 - alpha/2, df}` where `alpha = 1 - level`.
 pub fn t_critical(level: f64, df: f64) -> f64 {
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     t_ppf(1.0 - (1.0 - level) / 2.0, df)
 }
 
 /// Two-sided critical value from the standard normal.
 pub fn z_critical(level: f64) -> f64 {
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     norm_ppf(1.0 - (1.0 - level) / 2.0)
 }
 

@@ -47,7 +47,9 @@ pub fn diff_in_means(treat: &[f64], control: &[f64], level: f64) -> Result<DiffE
         });
     }
     if !(0.0 < level && level < 1.0) {
-        return Err(StatsError::InvalidParameter { context: "level must be in (0,1)" });
+        return Err(StatsError::InvalidParameter {
+            context: "level must be in (0,1)",
+        });
     }
     let (nt, nc) = (treat.len() as f64, control.len() as f64);
     let (vt, vc) = (variance(treat), variance(control));
@@ -61,7 +63,12 @@ pub fn diff_in_means(treat: &[f64], control: &[f64], level: f64) -> Result<DiffE
         nt + nc - 2.0
     };
     let t = t_critical(level, dof.max(1.0));
-    Ok(DiffEstimate { estimate: est, se, ci: (est - t * se, est + t * se), dof })
+    Ok(DiffEstimate {
+        estimate: est,
+        se,
+        ci: (est - t * se, est + t * se),
+        dof,
+    })
 }
 
 /// Result of a hypothesis test.
@@ -79,43 +86,68 @@ pub struct TestResult {
 pub fn welch_t_test(treat: &[f64], control: &[f64]) -> Result<TestResult> {
     let d = diff_in_means(treat, control, 0.95)?;
     if d.se == 0.0 {
-        return Err(StatsError::InvalidParameter { context: "welch_t_test: zero variance" });
+        return Err(StatsError::InvalidParameter {
+            context: "welch_t_test: zero variance",
+        });
     }
     let t = d.estimate / d.se;
     let p = 2.0 * (1.0 - t_cdf(t.abs(), d.dof));
-    Ok(TestResult { statistic: t, p_value: p.clamp(0.0, 1.0), dof: d.dof })
+    Ok(TestResult {
+        statistic: t,
+        p_value: p.clamp(0.0, 1.0),
+        dof: d.dof,
+    })
 }
 
 /// Paired t-test on matched observations.
 pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TestResult> {
     if a.len() != b.len() {
-        return Err(StatsError::DimensionMismatch { context: "paired_t_test: lengths differ" });
+        return Err(StatsError::DimensionMismatch {
+            context: "paired_t_test: lengths differ",
+        });
     }
     if a.len() < 2 {
-        return Err(StatsError::TooFewObservations { got: a.len(), need: 2 });
+        return Err(StatsError::TooFewObservations {
+            got: a.len(),
+            need: 2,
+        });
     }
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let m = mean(&diffs);
     let se = crate::describe::std_error(&diffs);
     if se == 0.0 {
-        return Err(StatsError::InvalidParameter { context: "paired_t_test: zero variance" });
+        return Err(StatsError::InvalidParameter {
+            context: "paired_t_test: zero variance",
+        });
     }
     let dof = (diffs.len() - 1) as f64;
     let t = m / se;
     let p = 2.0 * (1.0 - t_cdf(t.abs(), dof));
-    Ok(TestResult { statistic: t, p_value: p.clamp(0.0, 1.0), dof })
+    Ok(TestResult {
+        statistic: t,
+        p_value: p.clamp(0.0, 1.0),
+        dof,
+    })
 }
 
 /// Confidence interval for a single mean.
 pub fn mean_ci(xs: &[f64], level: f64) -> Result<DiffEstimate> {
     if xs.len() < 2 {
-        return Err(StatsError::TooFewObservations { got: xs.len(), need: 2 });
+        return Err(StatsError::TooFewObservations {
+            got: xs.len(),
+            need: 2,
+        });
     }
     let m = mean(xs);
     let se = crate::describe::std_error(xs);
     let dof = (xs.len() - 1) as f64;
     let t = t_critical(level, dof);
-    Ok(DiffEstimate { estimate: m, se, ci: (m - t * se, m + t * se), dof })
+    Ok(DiffEstimate {
+        estimate: m,
+        se,
+        ci: (m - t * se, m + t * se),
+        dof,
+    })
 }
 
 #[cfg(test)]
@@ -167,7 +199,12 @@ mod tests {
 
     #[test]
     fn scaled_flips_interval_for_negative_factor() {
-        let d = DiffEstimate { estimate: 2.0, se: 1.0, ci: (0.0, 4.0), dof: 10.0 };
+        let d = DiffEstimate {
+            estimate: 2.0,
+            se: 1.0,
+            ci: (0.0, 4.0),
+            dof: 10.0,
+        };
         let s = d.scaled(-1.0);
         assert_eq!(s.estimate, -2.0);
         assert_eq!(s.ci, (-4.0, 0.0));

@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -66,7 +70,9 @@ impl Matrix {
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
-            return Err(StatsError::DimensionMismatch { context: "matmul: inner dimensions" });
+            return Err(StatsError::DimensionMismatch {
+                context: "matmul: inner dimensions",
+            });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
@@ -86,7 +92,9 @@ impl Matrix {
     /// Matrix-vector product.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.cols != v.len() {
-            return Err(StatsError::DimensionMismatch { context: "matvec: vector length" });
+            return Err(StatsError::DimensionMismatch {
+                context: "matvec: vector length",
+            });
         }
         Ok((0..self.rows)
             .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
@@ -121,12 +129,13 @@ impl Matrix {
     /// `Xᵀ y`.
     pub fn xty(&self, y: &[f64]) -> Result<Vec<f64>> {
         if self.rows != y.len() {
-            return Err(StatsError::DimensionMismatch { context: "xty: y length != rows" });
+            return Err(StatsError::DimensionMismatch {
+                context: "xty: y length != rows",
+            });
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &yr) in y.iter().enumerate() {
             let row = self.row(r);
-            let yr = y[r];
             for (o, &x) in out.iter_mut().zip(row) {
                 *o += x * yr;
             }
@@ -138,7 +147,9 @@ impl Matrix {
     /// matrix. Returns the lower-triangular factor.
     pub fn cholesky(&self) -> Result<Matrix> {
         if self.rows != self.cols {
-            return Err(StatsError::DimensionMismatch { context: "cholesky: not square" });
+            return Err(StatsError::DimensionMismatch {
+                context: "cholesky: not square",
+            });
         }
         let n = self.rows;
         let mut l = Matrix::zeros(n, n);
@@ -167,7 +178,9 @@ impl Matrix {
         let l = self.cholesky()?;
         let n = self.rows;
         if b.len() != n {
-            return Err(StatsError::DimensionMismatch { context: "solve_spd: rhs length" });
+            return Err(StatsError::DimensionMismatch {
+                context: "solve_spd: rhs length",
+            });
         }
         // Forward: L z = b.
         let mut z = vec![0.0; n];

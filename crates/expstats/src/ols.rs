@@ -62,10 +62,15 @@ impl Ols {
         let n = x.nrows();
         let k = x.ncols();
         if y.len() != n {
-            return Err(StatsError::DimensionMismatch { context: "Ols::fit: y length != rows" });
+            return Err(StatsError::DimensionMismatch {
+                context: "Ols::fit: y length != rows",
+            });
         }
         if n <= k {
-            return Err(StatsError::TooFewObservations { got: n, need: k + 1 });
+            return Err(StatsError::TooFewObservations {
+                got: n,
+                need: k + 1,
+            });
         }
         let xtx = x.gram();
         let xty = x.xty(y)?;
@@ -75,7 +80,16 @@ impl Ols {
         let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
         let ybar = crate::describe::mean(y);
         let tss = y.iter().map(|v| (v - ybar) * (v - ybar)).sum();
-        Ok(OlsFit { coef, fitted, residuals, xtx_inv, x, n, k, tss })
+        Ok(OlsFit {
+            coef,
+            fitted,
+            residuals,
+            xtx_inv,
+            x,
+            n,
+            k,
+            tss,
+        })
     }
 }
 
@@ -112,9 +126,7 @@ impl OlsFit {
                 Ok(cov)
             }
             CovEstimator::Hc1 => self.sandwich(0, self.n as f64 / self.dof()),
-            CovEstimator::NeweyWest { lag } => {
-                self.sandwich(lag, self.n as f64 / self.dof())
-            }
+            CovEstimator::NeweyWest { lag } => self.sandwich(lag, self.n as f64 / self.dof()),
         }
     }
 
@@ -182,7 +194,9 @@ impl OlsFit {
     /// `n − k` degrees of freedom.
     pub fn coef_ci(&self, idx: usize, level: f64, est: CovEstimator) -> Result<(f64, f64)> {
         if idx >= self.k {
-            return Err(StatsError::InvalidParameter { context: "coef_ci: index out of range" });
+            return Err(StatsError::InvalidParameter {
+                context: "coef_ci: index out of range",
+            });
         }
         let se = self.std_errors(est)?[idx];
         let t = t_critical(level, self.dof());
@@ -193,7 +207,9 @@ impl OlsFit {
     pub fn t_stat(&self, idx: usize, est: CovEstimator) -> Result<f64> {
         let se = self.std_errors(est)?[idx];
         if se == 0.0 {
-            return Err(StatsError::InvalidParameter { context: "t_stat: zero standard error" });
+            return Err(StatsError::InvalidParameter {
+                context: "t_stat: zero standard error",
+            });
         }
         Ok(self.coef[idx] / se)
     }
@@ -259,8 +275,10 @@ impl DesignBuilder {
         uniq.sort_unstable();
         uniq.dedup();
         for &lvl in uniq.iter().skip(1) {
-            let col: Vec<f64> =
-                levels.iter().map(|&v| if v == lvl { 1.0 } else { 0.0 }).collect();
+            let col: Vec<f64> = levels
+                .iter()
+                .map(|&v| if v == lvl { 1.0 } else { 0.0 })
+                .collect();
             self.columns.push(col);
             self.names.push(format!("{name}[{lvl}]"));
         }
@@ -274,7 +292,9 @@ impl DesignBuilder {
 
     /// Materialize the design matrix.
     pub fn build(self) -> Result<Matrix> {
-        let n = self.nrows.ok_or(StatsError::TooFewObservations { got: 0, need: 1 })?;
+        let n = self
+            .nrows
+            .ok_or(StatsError::TooFewObservations { got: 0, need: 1 })?;
         let k = self.columns.len();
         let mut m = Matrix::zeros(n, k);
         for (j, col) in self.columns.iter().enumerate() {
@@ -411,7 +431,11 @@ mod tests {
     #[test]
     fn dummies_drop_reference_level() {
         let levels = [0usize, 1, 2, 0, 1, 2];
-        let b = DesignBuilder::new().intercept(6).unwrap().dummies("h", &levels).unwrap();
+        let b = DesignBuilder::new()
+            .intercept(6)
+            .unwrap()
+            .dummies("h", &levels)
+            .unwrap();
         assert_eq!(b.names(), &["intercept", "h[1]", "h[2]"]);
         let x = b.build().unwrap();
         assert_eq!(x.ncols(), 3);
@@ -441,7 +465,11 @@ mod tests {
             .build()
             .unwrap();
         let fit = Ols::fit(x, &ys).unwrap();
-        assert!((fit.coef[1] - 2.0).abs() < 1e-9, "treatment coef {}", fit.coef[1]);
+        assert!(
+            (fit.coef[1] - 2.0).abs() < 1e-9,
+            "treatment coef {}",
+            fit.coef[1]
+        );
     }
 
     #[test]
@@ -455,7 +483,10 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        assert!(matches!(Ols::fit(x, &[1.0, 2.0, 3.0, 4.0]), Err(StatsError::RankDeficient)));
+        assert!(matches!(
+            Ols::fit(x, &[1.0, 2.0, 3.0, 4.0]),
+            Err(StatsError::RankDeficient)
+        ));
     }
 
     #[test]

@@ -22,13 +22,19 @@ pub fn two_sample_power(
     alpha: f64,
 ) -> Result<f64> {
     if sd <= 0.0 {
-        return Err(StatsError::InvalidParameter { context: "power: sd must be positive" });
+        return Err(StatsError::InvalidParameter {
+            context: "power: sd must be positive",
+        });
     }
     if n_treat == 0 || n_control == 0 {
-        return Err(StatsError::InvalidParameter { context: "power: group sizes must be > 0" });
+        return Err(StatsError::InvalidParameter {
+            context: "power: group sizes must be > 0",
+        });
     }
     if !(0.0 < alpha && alpha < 1.0) {
-        return Err(StatsError::InvalidParameter { context: "power: alpha must be in (0,1)" });
+        return Err(StatsError::InvalidParameter {
+            context: "power: alpha must be in (0,1)",
+        });
     }
     let se = sd * (1.0 / n_treat as f64 + 1.0 / n_control as f64).sqrt();
     let z_crit = norm_ppf(1.0 - alpha / 2.0);
@@ -46,9 +52,11 @@ pub fn required_n_per_group(effect: f64, sd: f64, power: f64, alpha: f64) -> Res
         });
     }
     if sd <= 0.0 {
-        return Err(StatsError::InvalidParameter { context: "required_n: sd must be positive" });
+        return Err(StatsError::InvalidParameter {
+            context: "required_n: sd must be positive",
+        });
     }
-    if !(0.0 < power && power < 1.0) || !(0.0 < alpha && alpha < 1.0) {
+    if !(0.0 < power && power < 1.0 && 0.0 < alpha && alpha < 1.0) {
         return Err(StatsError::InvalidParameter {
             context: "required_n: power/alpha must be in (0,1)",
         });

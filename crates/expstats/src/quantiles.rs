@@ -93,7 +93,13 @@ pub fn quantile_effect(
     effects.sort_by(|a, b| a.partial_cmp(b).expect("NaN in bootstrap"));
     let lo = quantile_sorted(&effects, 0.025);
     let hi = quantile_sorted(&effects, 0.975);
-    Ok(QuantileEffect { q, treat_q: tq, control_q: cq, effect: tq - cq, ci95: (lo, hi) })
+    Ok(QuantileEffect {
+        q,
+        treat_q: tq,
+        control_q: cq,
+        effect: tq - cq,
+        ci95: (lo, hi),
+    })
 }
 
 #[cfg(test)]

@@ -28,7 +28,11 @@ impl Table {
             .enumerate()
             .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
             .collect();
-        Table { header, aligns, rows: Vec::new() }
+        Table {
+            header,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Override the alignment of a column.

@@ -16,7 +16,9 @@ pub fn autocovariance(xs: &[f64], lag: usize) -> Result<f64> {
         return Err(StatsError::TooFewObservations { got: n, need: 2 });
     }
     if lag >= n {
-        return Err(StatsError::InvalidParameter { context: "autocovariance: lag >= length" });
+        return Err(StatsError::InvalidParameter {
+            context: "autocovariance: lag >= length",
+        });
     }
     let m = mean(xs);
     let s: f64 = (lag..n).map(|t| (xs[t] - m) * (xs[t - lag] - m)).sum();
@@ -49,7 +51,10 @@ pub fn newey_west_auto_lag(n: usize) -> usize {
 pub fn ljung_box(xs: &[f64], max_lag: usize) -> Result<(f64, usize)> {
     let n = xs.len();
     if n <= max_lag + 1 {
-        return Err(StatsError::TooFewObservations { got: n, need: max_lag + 2 });
+        return Err(StatsError::TooFewObservations {
+            got: n,
+            need: max_lag + 2,
+        });
     }
     let mut q = 0.0;
     for l in 1..=max_lag {
@@ -83,7 +88,9 @@ mod tests {
 
     #[test]
     fn alternating_series_has_negative_lag1() {
-        let xs: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1).unwrap() < -0.9);
     }
 

@@ -44,12 +44,22 @@ pub struct AppConfig {
 impl AppConfig {
     /// A plain single-connection unpaced application.
     pub fn plain(cc: CcKind) -> AppConfig {
-        AppConfig { connections: 1, cc, paced: false, pacing_ca_factor: 1.2 }
+        AppConfig {
+            connections: 1,
+            cc,
+            paced: false,
+            pacing_ca_factor: 1.2,
+        }
     }
 
     /// A single-connection paced application at the given CA factor.
     pub fn paced(cc: CcKind, pacing_ca_factor: f64) -> AppConfig {
-        AppConfig { connections: 1, cc, paced: true, pacing_ca_factor }
+        AppConfig {
+            connections: 1,
+            cc,
+            paced: true,
+            pacing_ca_factor,
+        }
     }
 }
 
@@ -152,20 +162,28 @@ impl DumbbellConfig {
 
     /// Validate all fields.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if !(self.bottleneck_bps > 0.0) {
-            return Err(ConfigError::OutOfRange { field: "bottleneck_bps" });
+        if self.bottleneck_bps.is_nan() || self.bottleneck_bps <= 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "bottleneck_bps",
+            });
         }
-        if !(self.access_multiple >= 1.0) {
-            return Err(ConfigError::OutOfRange { field: "access_multiple" });
+        if self.access_multiple.is_nan() || self.access_multiple < 1.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "access_multiple",
+            });
         }
         if self.base_rtt == SimDuration::ZERO {
             return Err(ConfigError::OutOfRange { field: "base_rtt" });
         }
         if !(0.0..0.9).contains(&self.rtt_jitter) {
-            return Err(ConfigError::OutOfRange { field: "rtt_jitter" });
+            return Err(ConfigError::OutOfRange {
+                field: "rtt_jitter",
+            });
         }
-        if !(self.buffer_bdp > 0.0) {
-            return Err(ConfigError::OutOfRange { field: "buffer_bdp" });
+        if self.buffer_bdp.is_nan() || self.buffer_bdp <= 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "buffer_bdp",
+            });
         }
         if self.mss_bytes < 64 {
             return Err(ConfigError::OutOfRange { field: "mss_bytes" });
@@ -177,10 +195,14 @@ impl DumbbellConfig {
             return Err(ConfigError::OutOfRange { field: "duration" });
         }
         if !(0.0..1.0).contains(&self.random_loss) {
-            return Err(ConfigError::OutOfRange { field: "random_loss" });
+            return Err(ConfigError::OutOfRange {
+                field: "random_loss",
+            });
         }
         if self.ack_aggregation == 0 {
-            return Err(ConfigError::OutOfRange { field: "ack_aggregation" });
+            return Err(ConfigError::OutOfRange {
+                field: "ack_aggregation",
+            });
         }
         Ok(())
     }
@@ -191,7 +213,10 @@ mod tests {
     use super::*;
 
     fn valid() -> DumbbellConfig {
-        DumbbellConfig { apps: vec![AppConfig::plain(CcKind::Reno)], ..Default::default() }
+        DumbbellConfig {
+            apps: vec![AppConfig::plain(CcKind::Reno)],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -249,8 +274,18 @@ mod tests {
     fn total_flows_sums_connections() {
         let c = DumbbellConfig {
             apps: vec![
-                AppConfig { connections: 2, cc: CcKind::Reno, paced: false, pacing_ca_factor: 1.2 },
-                AppConfig { connections: 3, cc: CcKind::Cubic, paced: true, pacing_ca_factor: 1.2 },
+                AppConfig {
+                    connections: 2,
+                    cc: CcKind::Reno,
+                    paced: false,
+                    pacing_ca_factor: 1.2,
+                },
+                AppConfig {
+                    connections: 3,
+                    cc: CcKind::Cubic,
+                    paced: true,
+                    pacing_ca_factor: 1.2,
+                },
             ],
             ..Default::default()
         };

@@ -33,7 +33,10 @@ pub struct RandomLoss {
 impl RandomLoss {
     /// Drop each packet independently with `probability`.
     pub fn new(probability: f64, seed: u64) -> RandomLoss {
-        RandomLoss { probability: probability.clamp(0.0, 1.0), rng: SimRng::new(seed) }
+        RandomLoss {
+            probability: probability.clamp(0.0, 1.0),
+            rng: SimRng::new(seed),
+        }
     }
 }
 
@@ -52,7 +55,9 @@ pub struct ScriptedLoss {
 impl ScriptedLoss {
     /// Drop exactly the packets whose observation index is listed.
     pub fn new(drops: impl IntoIterator<Item = u64>) -> ScriptedLoss {
-        ScriptedLoss { drops: drops.into_iter().collect() }
+        ScriptedLoss {
+            drops: drops.into_iter().collect(),
+        }
     }
 }
 

@@ -139,7 +139,12 @@ mod tests {
             let mut cfg = base_cfg();
             cfg.bottleneck_bps = 200e6;
             cfg.apps = vec![
-                AppConfig { connections: 2, cc: CcKind::Reno, paced: false, pacing_ca_factor: 1.2 },
+                AppConfig {
+                    connections: 2,
+                    cc: CcKind::Reno,
+                    paced: false,
+                    pacing_ca_factor: 1.2,
+                },
                 AppConfig::plain(CcKind::Reno),
                 AppConfig::plain(CcKind::Reno),
                 AppConfig::plain(CcKind::Reno),
@@ -163,7 +168,12 @@ mod tests {
     fn per_app_flow_attribution() {
         let mut cfg = base_cfg();
         cfg.apps = vec![
-            AppConfig { connections: 2, cc: CcKind::Reno, paced: false, pacing_ca_factor: 1.2 },
+            AppConfig {
+                connections: 2,
+                cc: CcKind::Reno,
+                paced: false,
+                pacing_ca_factor: 1.2,
+            },
             AppConfig::plain(CcKind::Cubic),
         ];
         let res = run_dumbbell(&cfg).unwrap();

@@ -114,13 +114,21 @@ impl FlowMetrics {
             throughput_bps: delivered as f64 * mss as f64 * 8.0 / window_secs,
             sent_bytes: sent * mss,
             retx_bytes: retx * mss,
-            retx_fraction: if sent == 0 { 0.0 } else { retx as f64 / sent as f64 },
+            retx_fraction: if sent == 0 {
+                0.0
+            } else {
+                retx as f64 / sent as f64
+            },
             mean_rtt_s: if end.rtt_samples == 0 {
                 f64::NAN
             } else {
                 end.rtt_sum_s / end.rtt_samples as f64
             },
-            min_rtt_s: if end.rtt_min_s.is_finite() { end.rtt_min_s } else { f64::NAN },
+            min_rtt_s: if end.rtt_min_s.is_finite() {
+                end.rtt_min_s
+            } else {
+                f64::NAN
+            },
             loss_events: end.loss_events - start.loss_events,
             rtos: end.rtos - start.rtos,
             drops: end.drops - start.drops,
@@ -182,9 +190,17 @@ impl AppMetrics {
             cc: cfg.cc,
             paced: cfg.paced,
             throughput_bps: throughput,
-            retx_fraction: if sent == 0 { 0.0 } else { retx as f64 / sent as f64 },
+            retx_fraction: if sent == 0 {
+                0.0
+            } else {
+                retx as f64 / sent as f64
+            },
             mean_rtt_s: mean_rtt,
-            min_rtt_s: if min_rtt.is_finite() { min_rtt } else { f64::NAN },
+            min_rtt_s: if min_rtt.is_finite() {
+                min_rtt
+            } else {
+                f64::NAN
+            },
             flows,
         }
     }
@@ -196,7 +212,12 @@ mod tests {
     use crate::config::AppConfig;
 
     fn counters(sent: u64, retx: u64, delivered: u64) -> FlowCounters {
-        FlowCounters { segs_sent: sent, segs_retx: retx, segs_delivered: delivered, ..Default::default() }
+        FlowCounters {
+            segs_sent: sent,
+            segs_retx: retx,
+            segs_delivered: delivered,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -255,7 +276,12 @@ mod tests {
             rtos: 0,
             drops: 0,
         };
-        let cfg = AppConfig { connections: 2, cc: CcKind::Reno, paced: false, pacing_ca_factor: 1.2 };
+        let cfg = AppConfig {
+            connections: 2,
+            cc: CcKind::Reno,
+            paced: false,
+            pacing_ca_factor: 1.2,
+        };
         let m = AppMetrics::aggregate(AppId(0), &cfg, vec![mk(1e6, 1000, 100), mk(2e6, 1000, 0)]);
         assert!((m.throughput_bps - 3e6).abs() < 1e-9);
         assert!((m.retx_fraction - 0.05).abs() < 1e-12);

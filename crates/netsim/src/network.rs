@@ -53,7 +53,11 @@ struct SerialLink {
 
 impl SerialLink {
     fn new(rate_bps: f64) -> SerialLink {
-        SerialLink { rate_bps, queue: VecDeque::new(), in_service: None }
+        SerialLink {
+            rate_bps,
+            queue: VecDeque::new(),
+            in_service: None,
+        }
     }
 
     fn tx_time(&self, size_bytes: u32) -> SimDuration {
@@ -216,8 +220,8 @@ impl Model for Network {
             }
             Event::BottleneckArrive(pkt) => {
                 let flow = pkt.flow;
-                let injected_loss = self.cfg.random_loss > 0.0
-                    && self.loss_rng.bernoulli(self.cfg.random_loss);
+                let injected_loss =
+                    self.cfg.random_loss > 0.0 && self.loss_rng.bernoulli(self.cfg.random_loss);
                 if injected_loss || !self.bottleneck_q.offer(pkt) {
                     self.senders[flow.0].counters.drops += 1;
                 } else {
@@ -337,7 +341,10 @@ mod tests {
         let tput = delivered as f64 * 1500.0 * 8.0 / window;
         // A single Reno flow should achieve most of 50 Mb/s.
         assert!(tput > 0.8 * 50e6, "throughput {tput}");
-        assert!(tput < 1.02 * 50e6, "throughput cannot exceed capacity: {tput}");
+        assert!(
+            tput < 1.02 * 50e6,
+            "throughput cannot exceed capacity: {tput}"
+        );
     }
 
     #[test]
@@ -354,12 +361,17 @@ mod tests {
             .senders()
             .iter()
             .zip(snaps)
-            .map(|(s, sn)| (s.counters.segs_delivered - sn.segs_delivered) as f64 * 12000.0 / window)
+            .map(|(s, sn)| {
+                (s.counters.segs_delivered - sn.segs_delivered) as f64 * 12000.0 / window
+            })
             .collect();
         let total: f64 = tputs.iter().sum();
         assert!(total > 0.8 * 50e6, "aggregate {total}");
         let ratio = tputs[0] / tputs[1];
-        assert!((0.6..1.67).contains(&ratio), "fair-ish split, got {tputs:?}");
+        assert!(
+            (0.6..1.67).contains(&ratio),
+            "fair-ish split, got {tputs:?}"
+        );
     }
 
     #[test]
@@ -371,8 +383,16 @@ mod tests {
             AppConfig::plain(CcKind::Reno),
         ]);
         let sim = run(&cfg);
-        assert!(sim.model.queue_stats().dropped > 0, "expected bottleneck drops");
-        let retx: u64 = sim.model.senders().iter().map(|s| s.counters.segs_retx).sum();
+        assert!(
+            sim.model.queue_stats().dropped > 0,
+            "expected bottleneck drops"
+        );
+        let retx: u64 = sim
+            .model
+            .senders()
+            .iter()
+            .map(|s| s.counters.segs_retx)
+            .sum();
         assert!(retx > 0, "expected retransmissions");
     }
 
@@ -423,7 +443,12 @@ mod tests {
     fn conservation_no_packet_creation() {
         // Delivered segments can never exceed sent segments.
         let cfg = small_cfg(vec![
-            AppConfig { connections: 2, cc: CcKind::Reno, paced: false, pacing_ca_factor: 1.2 },
+            AppConfig {
+                connections: 2,
+                cc: CcKind::Reno,
+                paced: false,
+                pacing_ca_factor: 1.2,
+            },
             AppConfig::plain(CcKind::Cubic),
         ]);
         let sim = run(&cfg);

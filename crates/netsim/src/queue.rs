@@ -89,7 +89,8 @@ impl DropTailQueue {
         } else {
             self.occupancy_bytes += size;
             self.stats.enqueued += 1;
-            self.stats.max_occupancy_bytes = self.stats.max_occupancy_bytes.max(self.occupancy_bytes);
+            self.stats.max_occupancy_bytes =
+                self.stats.max_occupancy_bytes.max(self.occupancy_bytes);
             self.packets.push_back(pkt);
             true
         }
@@ -110,7 +111,13 @@ mod tests {
     use dessim::SimTime;
 
     fn pkt(seq: u64, size: u32) -> Packet {
-        Packet { flow: FlowId(0), seq, size_bytes: size, is_retx: false, sent_at: SimTime::ZERO }
+        Packet {
+            flow: FlowId(0),
+            seq,
+            size_bytes: size,
+            is_retx: false,
+            sent_at: SimTime::ZERO,
+        }
     }
 
     #[test]

@@ -252,8 +252,7 @@ impl CongestionControl for Bbr {
             State::ProbeRtt => {
                 if self.probe_rtt_done_stamp.is_none() && ev.inflight_pkts as f64 <= MIN_CWND {
                     self.probe_rtt_done_stamp = Some(
-                        now + PROBE_RTT_DURATION
-                            .max(SimDuration::from_secs_f64(self.last_srtt_s)),
+                        now + PROBE_RTT_DURATION.max(SimDuration::from_secs_f64(self.last_srtt_s)),
                     );
                 }
                 if let Some(done) = self.probe_rtt_done_stamp {
@@ -314,7 +313,11 @@ impl CongestionControl for Bbr {
             None => {
                 // No samples yet: pace the initial window over the
                 // smoothed RTT (or a 10 ms guess before any sample).
-                let rtt = if self.last_srtt_s > 0.0 { self.last_srtt_s } else { 0.01 };
+                let rtt = if self.last_srtt_s > 0.0 {
+                    self.last_srtt_s
+                } else {
+                    0.01
+                };
                 Some(HIGH_GAIN * self.initial_cwnd * mss_bytes as f64 * 8.0 / rtt)
             }
         }

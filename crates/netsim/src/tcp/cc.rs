@@ -77,7 +77,10 @@ pub struct WindowedMax {
 impl WindowedMax {
     /// Filter keeping the max over the last `window` rounds.
     pub fn new(window: u64) -> WindowedMax {
-        WindowedMax { entries: Vec::new(), window }
+        WindowedMax {
+            entries: Vec::new(),
+            window,
+        }
     }
 
     /// Insert a sample observed in `round`.

@@ -81,8 +81,7 @@ impl CongestionControl for Cubic {
         }
         // TCP-friendly region (standard TCP's AIMD estimate).
         if srtt > 0.0 {
-            let w_est =
-                self.w_max * BETA + 3.0 * (1.0 - BETA) / (1.0 + BETA) * (t / srtt);
+            let w_est = self.w_max * BETA + 3.0 * (1.0 - BETA) / (1.0 + BETA) * (t / srtt);
             if w_est > self.cwnd {
                 self.cwnd = w_est;
             }
@@ -169,7 +168,10 @@ mod tests {
             let t = 0.02 * (i + 1) as f64;
             c.on_ack(&ack_at(t, 1));
         }
-        assert!(c.cwnd_pkts() > w_after_loss, "window should grow after loss");
+        assert!(
+            c.cwnd_pkts() > w_after_loss,
+            "window should grow after loss"
+        );
         // Should have grown back near or past W_max.
         assert!(c.cwnd_pkts() > 90.0, "cwnd {}", c.cwnd_pkts());
     }
@@ -202,7 +204,7 @@ mod tests {
         let mut prev = c.cwnd_pkts();
         for i in 0..2000 {
             let t = 0.01 * (i + 1) as f64; // 20 s total
-            // ~1000 segs/s ack clock so cwnd tracks the cubic target.
+                                           // ~1000 segs/s ack clock so cwnd tracks the cubic target.
             c.on_ack(&ack_at_rtt(t, 100, 10));
             if i % 200 == 199 {
                 deltas.push(c.cwnd_pkts() - prev);
@@ -216,7 +218,11 @@ mod tests {
         let late = deltas[deltas.len() - 1];
         let mid = deltas[4]; // near the K plateau
         assert!(late > mid, "deltas {deltas:?}");
-        assert!(c.cwnd_pkts() > 1000.0, "probed past w_max: {}", c.cwnd_pkts());
+        assert!(
+            c.cwnd_pkts() > 1000.0,
+            "probed past w_max: {}",
+            c.cwnd_pkts()
+        );
     }
 
     #[test]

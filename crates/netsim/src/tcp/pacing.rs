@@ -13,12 +13,21 @@ pub const LINUX_SS_FACTOR: f64 = 2.0;
 pub const LINUX_CA_FACTOR: f64 = 1.2;
 
 /// The Linux cwnd-based pacing rate in bits per second.
-pub fn linux_pacing_rate_bps(cwnd_pkts: f64, mss_bytes: u32, srtt: SimDuration, slow_start: bool) -> f64 {
+pub fn linux_pacing_rate_bps(
+    cwnd_pkts: f64,
+    mss_bytes: u32,
+    srtt: SimDuration,
+    slow_start: bool,
+) -> f64 {
     cwnd_pacing_rate_bps(
         cwnd_pkts,
         mss_bytes,
         srtt,
-        if slow_start { LINUX_SS_FACTOR } else { LINUX_CA_FACTOR },
+        if slow_start {
+            LINUX_SS_FACTOR
+        } else {
+            LINUX_CA_FACTOR
+        },
     )
 }
 
@@ -48,7 +57,9 @@ impl Default for Pacer {
 impl Pacer {
     /// A pacer that allows an immediate first transmission.
     pub fn new() -> Pacer {
-        Pacer { next_send: SimTime::ZERO }
+        Pacer {
+            next_send: SimTime::ZERO,
+        }
     }
 
     /// Whether a packet may be sent at `now`.

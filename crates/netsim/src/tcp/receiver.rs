@@ -179,7 +179,10 @@ impl Receiver {
             }
         } else {
             self.pending_last = Some((pkt.seq, pkt.sent_at, pkt.is_retx));
-            AckDecision { ack: None, want_flush_timer: true }
+            AckDecision {
+                ack: None,
+                want_flush_timer: true,
+            }
         }
     }
 
@@ -200,7 +203,9 @@ mod tests {
 
     /// Unwrap the immediate ACK (valid for aggregation = 1 receivers).
     fn ack_of(r: &mut Receiver, p: &Packet) -> Ack {
-        r.on_segment(p).ack.expect("aggregation=1 receivers ack every segment")
+        r.on_segment(p)
+            .ack
+            .expect("aggregation=1 receivers ack every segment")
     }
 
     fn pkt(seq: u64, retx: bool) -> Packet {

@@ -14,7 +14,10 @@ pub struct Reno {
 impl Reno {
     /// Create with the given initial window (segments).
     pub fn new(initial_cwnd: f64) -> Reno {
-        Reno { cwnd: initial_cwnd, ssthresh: f64::INFINITY }
+        Reno {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+        }
     }
 }
 

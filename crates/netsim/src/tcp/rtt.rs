@@ -45,8 +45,7 @@ impl RttEstimator {
                 let sample_ns = sample.as_nanos() as i128;
                 let srtt_ns = srtt.as_nanos() as i128;
                 let err = (srtt_ns - sample_ns).unsigned_abs() as u64;
-                self.rttvar =
-                    SimDuration::from_nanos((3 * self.rttvar.as_nanos() + err) / 4);
+                self.rttvar = SimDuration::from_nanos((3 * self.rttvar.as_nanos() + err) / 4);
                 self.srtt = Some(SimDuration::from_nanos(
                     ((7 * srtt_ns + sample_ns) / 8) as u64,
                 ));

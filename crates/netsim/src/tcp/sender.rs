@@ -106,6 +106,7 @@ impl Sender {
     ///
     /// `rtt_hint` seeds pacing-rate computation before the first RTT
     /// sample (a real sender knows a ballpark RTT from the handshake).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         flow: FlowId,
         app: AppId,
@@ -207,7 +208,12 @@ impl Sender {
             } else {
                 self.pacing_ca_factor
             };
-            Some(cwnd_pacing_rate_bps(self.cc.cwnd_pkts(), self.mss, self.srtt(), factor))
+            Some(cwnd_pacing_rate_bps(
+                self.cc.cwnd_pkts(),
+                self.mss,
+                self.srtt(),
+                factor,
+            ))
         } else {
             None
         }
@@ -242,7 +248,13 @@ impl Sender {
         if self.rto_deadline.is_none() {
             self.arm_rto(now);
         }
-        Packet { flow: self.flow, seq, size_bytes: self.mss, is_retx, sent_at: now }
+        Packet {
+            flow: self.flow,
+            seq,
+            size_bytes: self.mss,
+            is_retx,
+            sent_at: now,
+        }
     }
 
     fn try_send(&mut self, now: SimTime, out: &mut Vec<Packet>) {
@@ -356,8 +368,7 @@ impl Sender {
             self.delivered += newly;
             self.counters.segs_delivered += newly;
             // Count only the segments not already credited via SACK.
-            let sacked_in_range =
-                self.sacked.range(self.high_ack..ack.cum_ack).count() as u64;
+            let sacked_in_range = self.sacked.range(self.high_ack..ack.cum_ack).count() as u64;
             self.delivered_rate_ctr += newly - sacked_in_range;
             rate_sample = self.meta.get(&ack.for_seq).and_then(|m| {
                 if m.is_retx {
@@ -494,14 +505,26 @@ mod tests {
     }
 
     fn ack(cum: u64, for_seq: u64, sent_at: SimTime) -> Ack {
-        Ack { flow: FlowId(0), cum_ack: cum, for_seq, sacks: no_sacks(), echo_sent_at: Some(sent_at) }
+        Ack {
+            flow: FlowId(0),
+            cum_ack: cum,
+            for_seq,
+            sacks: no_sacks(),
+            echo_sent_at: Some(sent_at),
+        }
     }
 
     /// Duplicate ACK carrying a SACK of `start..end`.
     fn sack_ack(cum: u64, start: u64, end: u64) -> Ack {
         let mut sacks = no_sacks();
         sacks[0] = Some(SackBlock { start, end });
-        Ack { flow: FlowId(0), cum_ack: cum, for_seq: end - 1, sacks, echo_sent_at: None }
+        Ack {
+            flow: FlowId(0),
+            cum_ack: cum,
+            for_seq: end - 1,
+            sacks,
+            echo_sent_at: None,
+        }
     }
 
     #[test]
@@ -512,7 +535,10 @@ mod tests {
         assert_eq!(s.outstanding(), 10);
         assert_eq!(s.pipe(), 10);
         assert!(s.rto_deadline().is_some());
-        assert!(pkts.iter().enumerate().all(|(i, p)| p.seq == i as u64 && !p.is_retx));
+        assert!(pkts
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.seq == i as u64 && !p.is_retx));
     }
 
     #[test]
@@ -553,7 +579,10 @@ mod tests {
         let pkts = s.on_ack(t, sack_ack(0, 1, 4));
         // Highest sacked = 3 >= 0 + 3 => seq 0 deemed lost and retransmitted.
         assert!(s.in_recovery());
-        assert!(pkts.iter().any(|p| p.seq == 0 && p.is_retx), "pkts {pkts:?}");
+        assert!(
+            pkts.iter().any(|p| p.seq == 0 && p.is_retx),
+            "pkts {pkts:?}"
+        );
         assert_eq!(s.counters.loss_events, 1);
     }
 
@@ -599,9 +628,14 @@ mod tests {
         // Follow-up ACK progress releases the remaining holes.
         let t2 = t + SimDuration::from_millis(5);
         let pkts2 = s.on_ack(t2, ack(1, 0, t0));
-        let all_retx: Vec<u64> =
-            retx.into_iter().chain(pkts2.iter().filter(|p| p.is_retx).map(|p| p.seq)).collect();
-        assert!(all_retx.contains(&1) || s.retx_queue.is_empty(), "{all_retx:?}");
+        let all_retx: Vec<u64> = retx
+            .into_iter()
+            .chain(pkts2.iter().filter(|p| p.is_retx).map(|p| p.seq))
+            .collect();
+        assert!(
+            all_retx.contains(&1) || s.retx_queue.is_empty(),
+            "{all_retx:?}"
+        );
     }
 
     #[test]
@@ -656,7 +690,10 @@ mod tests {
         let d2 = s.rto_deadline().unwrap();
         let gap1 = d1.since(SimTime::ZERO).as_secs_f64();
         let gap2 = d2.since(d1).as_secs_f64();
-        assert!(gap2 > 1.5 * gap1, "backoff should roughly double: {gap1} {gap2}");
+        assert!(
+            gap2 > 1.5 * gap1,
+            "backoff should roughly double: {gap1} {gap2}"
+        );
     }
 
     #[test]
@@ -666,7 +703,7 @@ mod tests {
         s.start(t0); // 0..10 in flight
         let deadline = s.rto_deadline().unwrap();
         s.on_rto_fire(deadline); // next_seq rolled back to 0, resends seq 0
-        // A stale ACK for the pre-RTO flight arrives late.
+                                 // A stale ACK for the pre-RTO flight arrives late.
         let t = deadline + SimDuration::from_millis(5);
         s.on_ack(t, ack(7, 6, t0));
         // The send point must never lag the cumulative ACK.
@@ -683,7 +720,7 @@ mod tests {
         s.start(t0);
         let mut t = t0;
         for i in 0..10u64 {
-            t = t + SimDuration::from_millis(2);
+            t += SimDuration::from_millis(2);
             s.on_ack(t, ack(i + 1, i, t0));
         }
         assert_eq!(s.counters.segs_delivered, 10);
@@ -707,7 +744,16 @@ mod tests {
         let t1 = t0 + SimDuration::from_millis(20);
         s.on_ack(t1, ack(5, 4, t0));
         let before = s.counters.segs_delivered;
-        s.on_ack(t1, Ack { flow: FlowId(0), cum_ack: 3, for_seq: 2, sacks: no_sacks(), echo_sent_at: None });
+        s.on_ack(
+            t1,
+            Ack {
+                flow: FlowId(0),
+                cum_ack: 3,
+                for_seq: 2,
+                sacks: no_sacks(),
+                echo_sent_at: None,
+            },
+        );
         assert_eq!(s.counters.segs_delivered, before);
         assert_eq!(s.high_ack, 5);
     }
@@ -721,7 +767,7 @@ mod tests {
         s.start(t0);
         let t = t0 + SimDuration::from_millis(25);
         let pkts = s.on_ack(t, sack_ack(0, 1, 3)); // 2 sacked, gap below threshold
-        // pipe = 10 - 2 = 8 < cwnd 10 => 2 new segments go out.
+                                                   // pipe = 10 - 2 = 8 < cwnd 10 => 2 new segments go out.
         assert_eq!(pkts.len(), 2);
         assert!(pkts.iter().all(|p| !p.is_retx));
     }

@@ -1,0 +1,141 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so this shim provides the
+//! tiny API surface used by `crates/bench/benches/*`: `Criterion` with
+//! `sample_size`/`measurement_time` builders, `bench_function` +
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! It measures wall-clock time per iteration and prints mean/min/max —
+//! no warm-up analysis, outlier detection, or HTML reports. Point the
+//! workspace `criterion` entry at a registry version to get the real
+//! thing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (API-compatible subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run `f` under a [`Bencher`] and print a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size,
+            deadline: Instant::now() + self.measurement_time,
+        };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample, stopping at the sample budget or
+    /// the measurement deadline (whichever comes first, but always at
+    /// least one sample).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for i in 0..self.budget {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if i + 1 < self.budget && Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{id:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  (n={})",
+        samples.len()
+    );
+}
+
+/// Declare a group runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn deadline_stops_early_but_keeps_one_sample() {
+        let mut c = Criterion::default()
+            .sample_size(1000)
+            .measurement_time(Duration::from_millis(0));
+        let mut runs = 0usize;
+        c.bench_function("deadline", |b| b.iter(|| runs += 1));
+        assert!((1..1000).contains(&runs), "runs {runs}");
+    }
+}

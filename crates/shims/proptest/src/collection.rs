@@ -1,0 +1,46 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s whose length is drawn from a range and
+/// whose elements come from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `vec(element, lo..hi)`: vectors of `lo..hi` elements.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        len.start < len.end,
+        "vec strategy needs a non-empty length range"
+    );
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_bounded() {
+        let mut rng = TestRng::new(7);
+        let s = vec(0u64..100, 1..20);
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 100));
+        }
+    }
+}

@@ -32,12 +32,14 @@ impl Ladder {
         self.rates
             .iter()
             .copied()
-            .filter(|&r| r <= ceiling).rfind(|&r| r <= budget)
+            .filter(|&r| r <= ceiling)
+            .rfind(|&r| r <= budget)
             .unwrap_or_else(|| {
                 // Must stream something: lowest rung permitted by the cap.
                 self.rates
                     .iter()
-                    .copied().find(|&r| r <= ceiling)
+                    .copied()
+                    .find(|&r| r <= ceiling)
                     .unwrap_or(self.min_rate())
             })
     }

@@ -23,6 +23,7 @@ pub struct Client {
     link: LinkId,
     day: usize,
     hour: usize,
+    weekend: bool,
     arrival_s: f64,
     treated: bool,
 
@@ -74,6 +75,7 @@ impl Client {
         link: LinkId,
         day: usize,
         hour: usize,
+        weekend: bool,
         now_s: f64,
         treated: bool,
         initial_share_bps: f64,
@@ -83,9 +85,8 @@ impl Client {
         let patience_s = 5.0 + rng.exponential(1.0 / cfg.mean_patience_s);
         // Last-mile limit: lognormal around the configured median,
         // clamped to the transport ceiling.
-        let access_bps = (cfg.access_median_bps
-            * rng.lognormal(0.0, cfg.access_sigma))
-        .clamp(ladder.min_rate() * 1.5, cfg.session_max_bps);
+        let access_bps = (cfg.access_median_bps * rng.lognormal(0.0, cfg.access_sigma))
+            .clamp(ladder.min_rate() * 1.5, cfg.session_max_bps);
         // Noise is mean-one lognormal so volatility does not shift the
         // mean throughput.
         let sigma = cfg.throughput_noise_sigma;
@@ -93,8 +94,7 @@ impl Client {
         // Initial estimate: the observable per-session share bounded by
         // the access line, degraded by a first noise draw.
         let noise = draw_noise(&mut rng);
-        let throughput_est =
-            (initial_share_bps.min(access_bps) * noise).max(ladder.min_rate());
+        let throughput_est = (initial_share_bps.min(access_bps) * noise).max(ladder.min_rate());
         let cap = if treated { Some(cfg.cap_bps) } else { None };
         let bitrate = ladder.select(throughput_est, cfg.abr_safety, cap);
         let chunk_noise = draw_noise(&mut rng);
@@ -102,6 +102,7 @@ impl Client {
             link,
             day,
             hour,
+            weekend,
             arrival_s: now_s,
             treated,
             phase: Phase::Startup,
@@ -147,7 +148,9 @@ impl Client {
                 }
             }
         };
-        Demand { rate_bps: rate.min(cfg.session_max_bps) }
+        Demand {
+            rate_bps: rate.min(cfg.session_max_bps),
+        }
     }
 
     /// Advance one tick given the allocated rate and current link state.
@@ -198,7 +201,11 @@ impl Client {
             if self.rng.bernoulli(self.dip_prob) {
                 self.chunk_noise *= 0.12;
             }
-            let cap = if self.treated { Some(cfg.cap_bps) } else { None };
+            let cap = if self.treated {
+                Some(cfg.cap_bps)
+            } else {
+                None
+            };
             let next = ladder.select(self.throughput_est, cfg.abr_safety, cap);
             if self.phase != Phase::Startup && (next - self.bitrate).abs() > 1.0 {
                 self.switches += 1;
@@ -246,6 +253,7 @@ impl Client {
             link: self.link,
             day: self.day,
             hour: self.hour,
+            weekend: self.weekend,
             arrival_s: self.arrival_s,
             treated: self.treated,
             throughput_bps: if self.active_dl_s > 0.0 {
@@ -253,10 +261,22 @@ impl Client {
             } else {
                 0.0
             },
-            min_rtt_s: if self.min_rtt_s.is_finite() { self.min_rtt_s } else { f64::NAN },
+            min_rtt_s: if self.min_rtt_s.is_finite() {
+                self.min_rtt_s
+            } else {
+                f64::NAN
+            },
             play_delay_s: self.play_delay_s,
-            bitrate_bps: if cancelled { f64::NAN } else { self.bitrate_time_product / play },
-            quality: if cancelled { f64::NAN } else { self.quality_time_product / play },
+            bitrate_bps: if cancelled {
+                f64::NAN
+            } else {
+                self.bitrate_time_product / play
+            },
+            quality: if cancelled {
+                f64::NAN
+            } else {
+                self.quality_time_product / play
+            },
             rebuffer_count: self.rebuffer_count,
             rebuffered: self.rebuffer_count > 0,
             cancelled,
@@ -291,6 +311,7 @@ mod tests {
             LinkId::One,
             0,
             20,
+            false,
             0.0,
             treated,
             share,
@@ -334,7 +355,11 @@ mod tests {
         let (client, ladder) = make_client(true, 20e6, 2);
         let rec = run_to_completion(client, &ladder, 20e6, 0.02, 0.0);
         assert!(rec.treated);
-        assert!(rec.bitrate_bps <= 1_750e3 + 1.0, "bitrate {}", rec.bitrate_bps);
+        assert!(
+            rec.bitrate_bps <= 1_750e3 + 1.0,
+            "bitrate {}",
+            rec.bitrate_bps
+        );
         // Capped sessions pull fewer bytes.
         let (un, ladder2) = make_client(false, 20e6, 2);
         let rec_un = run_to_completion(un, &ladder2, 20e6, 0.02, 0.0);

@@ -83,8 +83,7 @@ impl Default for StreamConfig {
             days: 5,
             peak_arrivals_per_s: 0.24,
             ladder_bps: vec![
-                235e3, 375e3, 560e3, 750e3, 1_050e3, 1_750e3, 2_350e3, 3_000e3, 4_300e3,
-                5_800e3,
+                235e3, 375e3, 560e3, 750e3, 1_050e3, 1_750e3, 2_350e3, 3_000e3, 4_300e3, 5_800e3,
             ],
             cap_bps: 1_750e3,
             session_max_bps: 25e6,
@@ -143,7 +142,7 @@ impl StreamConfig {
             ("rebuffer_bias", self.rebuffer_bias),
         ];
         for (name, v) in positive {
-            if !(v > 0.0) || !v.is_finite() {
+            if v <= 0.0 || !v.is_finite() {
                 return Err(StreamConfigError { field: name });
             }
         }
@@ -151,16 +150,24 @@ impl StreamConfig {
             return Err(StreamConfigError { field: "days" });
         }
         if self.ladder_bps.is_empty() || self.ladder_bps.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(StreamConfigError { field: "ladder_bps" });
+            return Err(StreamConfigError {
+                field: "ladder_bps",
+            });
         }
         if self.queue_capacity_s < 0.0 {
-            return Err(StreamConfigError { field: "queue_capacity_s" });
+            return Err(StreamConfigError {
+                field: "queue_capacity_s",
+            });
         }
         if !(0.0..0.5).contains(&self.loss_floor) {
-            return Err(StreamConfigError { field: "loss_floor" });
+            return Err(StreamConfigError {
+                field: "loss_floor",
+            });
         }
         if self.throughput_noise_sigma < 0.0 || self.fixed_retx_bytes_per_s < 0.0 {
-            return Err(StreamConfigError { field: "noise/retx" });
+            return Err(StreamConfigError {
+                field: "noise/retx",
+            });
         }
         if !(0.0..1.0).contains(&self.dip_prob) {
             return Err(StreamConfigError { field: "dip_prob" });
@@ -185,26 +192,38 @@ mod tests {
 
     #[test]
     fn rejects_bad_fields() {
-        let mut c = StreamConfig::default();
-        c.capacity_bps = 0.0;
+        let c = StreamConfig {
+            capacity_bps: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StreamConfig::default();
-        c.days = 0;
+        let c = StreamConfig {
+            days: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StreamConfig::default();
-        c.ladder_bps = vec![2e6, 1e6]; // not ascending
+        // Ladder must be ascending.
+        let c = StreamConfig {
+            ladder_bps: vec![2e6, 1e6],
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = StreamConfig::default();
-        c.loss_floor = 0.9;
+        let c = StreamConfig {
+            loss_floor: 0.9,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn horizon_math() {
-        let c = StreamConfig { days: 5, ..Default::default() };
+        let c = StreamConfig {
+            days: 5,
+            ..Default::default()
+        };
         assert_eq!(c.horizon_s(), 432_000.0);
     }
 }

@@ -34,7 +34,10 @@ impl DiurnalDemand {
     /// The paper's experiment ran Wednesday→Sunday, so day 0 defaults to
     /// Wednesday when constructed via [`DiurnalDemand::paper_week`].
     pub fn new(peak_rate: f64, start_weekday: usize) -> DiurnalDemand {
-        DiurnalDemand { peak_rate, start_weekday: start_weekday % 7 }
+        DiurnalDemand {
+            peak_rate,
+            start_weekday: start_weekday % 7,
+        }
     }
 
     /// Demand curve aligned with the paper's Wednesday-to-Sunday run.

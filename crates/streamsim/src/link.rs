@@ -184,7 +184,11 @@ mod tests {
         for _ in 0..50 {
             mild.allocate(&[120.0, 5.0], 1.0);
         }
-        assert!(mild.loss() > 0.0 && mild.loss() < 0.25, "loss {}", mild.loss());
+        assert!(
+            mild.loss() > 0.0 && mild.loss() < 0.25,
+            "loss {}",
+            mild.loss()
+        );
     }
 
     #[test]

@@ -36,20 +36,15 @@ impl AllocationSchedule {
     /// days `p_lo` (the paper recommends 90–99% rather than 100% so
     /// spillover stays estimable).
     pub fn switchback(plan: &[bool], p_hi: f64, p_lo: f64) -> AllocationSchedule {
-        AllocationSchedule::PerDay(
-            plan.iter().map(|&t| if t { p_hi } else { p_lo }).collect(),
-        )
+        AllocationSchedule::PerDay(plan.iter().map(|&t| if t { p_hi } else { p_lo }).collect())
     }
 
     /// Event study: `p_lo` before `switch_day`, `p_hi` from it onward.
-    pub fn event_study(
-        days: usize,
-        switch_day: usize,
-        p_hi: f64,
-        p_lo: f64,
-    ) -> AllocationSchedule {
+    pub fn event_study(days: usize, switch_day: usize, p_hi: f64, p_lo: f64) -> AllocationSchedule {
         AllocationSchedule::PerDay(
-            (0..days).map(|d| if d >= switch_day { p_hi } else { p_lo }).collect(),
+            (0..days)
+                .map(|d| if d >= switch_day { p_hi } else { p_lo })
+                .collect(),
         )
     }
 

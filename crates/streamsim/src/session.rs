@@ -31,6 +31,9 @@ pub struct SessionRecord {
     pub day: usize,
     /// Local hour of day at arrival (0–23).
     pub hour: usize,
+    /// Whether the arrival day is a weekend day (demand model calendar;
+    /// switchback analyses difference this out, §5.3).
+    pub weekend: bool,
     /// Arrival time in seconds since simulation start.
     pub arrival_s: f64,
     /// Whether the session was in the treatment (bitrate-capped) arm.
@@ -185,6 +188,7 @@ mod tests {
             link: LinkId::One,
             day: 0,
             hour: 20,
+            weekend: false,
             arrival_s: 72_000.0,
             treated: true,
             throughput_bps: 5e6,

@@ -101,8 +101,7 @@ impl LinkSim {
         // Arrivals.
         let n_arrivals = self.demand.arrivals(self.now_s, dt, &mut self.rng);
         let p = self.schedule.allocation(day);
-        let share_now = self.link.capacity_bps()
-            / (self.clients.len() as f64 + 1.0).max(1.0);
+        let share_now = self.link.capacity_bps() / (self.clients.len() as f64 + 1.0).max(1.0);
         for _ in 0..n_arrivals {
             let treated = self.rng.bernoulli(p);
             let child = self.rng.fork();
@@ -112,6 +111,7 @@ impl LinkSim {
                 self.link_id,
                 day,
                 hour,
+                self.demand.is_weekend(day),
                 self.now_s,
                 treated,
                 share_now.min(self.cfg.session_max_bps),
@@ -120,8 +120,11 @@ impl LinkSim {
         }
 
         // Bandwidth allocation.
-        let demands: Vec<f64> =
-            self.clients.iter().map(|c| c.demand(&self.cfg).rate_bps).collect();
+        let demands: Vec<f64> = self
+            .clients
+            .iter()
+            .map(|c| c.demand(&self.cfg).rate_bps)
+            .collect();
         let shares = self.link.allocate(&demands, dt);
         let rtt = self.link.rtt_s();
         let loss = self.link.loss();
@@ -245,7 +248,10 @@ impl PairedSim {
             all.append(&mut recs);
             hourly[idx] = hstats;
         }
-        PairedRun { sessions: all, hourly }
+        PairedRun {
+            sessions: all,
+            hourly,
+        }
     }
 }
 
@@ -292,7 +298,11 @@ mod tests {
         let peak = &hourly[20]; // 20:00
         let trough = &hourly[4]; // 04:00
         assert!(peak.utilization > 0.95, "peak util {}", peak.utilization);
-        assert!(trough.utilization < 0.5, "trough util {}", trough.utilization);
+        assert!(
+            trough.utilization < 0.5,
+            "trough util {}",
+            trough.utilization
+        );
         assert!(peak.rtt_s > trough.rtt_s, "queueing delay at peak");
     }
 
@@ -301,10 +311,13 @@ mod tests {
         // The headline mechanism: at high allocation the link carries the
         // same users with less traffic, so peak RTT and loss drop.
         let cfg = small_cfg();
-        let uncapped =
-            LinkSim::new(cfg.clone(), LinkId::One, AllocationSchedule::Constant(0.0), 3);
-        let capped =
-            LinkSim::new(cfg, LinkId::One, AllocationSchedule::Constant(0.95), 3);
+        let uncapped = LinkSim::new(
+            cfg.clone(),
+            LinkId::One,
+            AllocationSchedule::Constant(0.0),
+            3,
+        );
+        let capped = LinkSim::new(cfg, LinkId::One, AllocationSchedule::Constant(0.95), 3);
         let (_, h_un) = uncapped.run();
         let (_, h_cap) = capped.run();
         let peak_rtt_un: f64 = (18..23).map(|h| h_un[h].rtt_s).sum::<f64>() / 5.0;
@@ -317,7 +330,12 @@ mod tests {
 
     #[test]
     fn allocation_fraction_respected() {
-        let sim = LinkSim::new(small_cfg(), LinkId::One, AllocationSchedule::Constant(0.3), 4);
+        let sim = LinkSim::new(
+            small_cfg(),
+            LinkId::One,
+            AllocationSchedule::Constant(0.3),
+            4,
+        );
         let (records, _) = sim.run();
         let treated = records.iter().filter(|r| r.treated).count() as f64;
         let frac = treated / records.len() as f64;
@@ -333,31 +351,30 @@ mod tests {
             7,
         );
         let run = paired.run();
-        let (l1, l2): (Vec<_>, Vec<_>) =
-            run.sessions.iter().partition(|r| r.link == LinkId::One);
+        let (l1, l2): (Vec<_>, Vec<_>) = run.sessions.iter().partition(|r| r.link == LinkId::One);
         assert!(!l1.is_empty() && !l2.is_empty());
         // Similar session volumes (within the configured ~5% bias + noise)...
         let ratio = l1.len() as f64 / l2.len() as f64;
         assert!((0.9..1.25).contains(&ratio), "volume ratio {ratio}");
         // ...similar mean throughput...
-        let t1: f64 =
-            l1.iter().map(|r| r.throughput_bps).sum::<f64>() / l1.len() as f64;
-        let t2: f64 =
-            l2.iter().map(|r| r.throughput_bps).sum::<f64>() / l2.len() as f64;
+        let t1: f64 = l1.iter().map(|r| r.throughput_bps).sum::<f64>() / l1.len() as f64;
+        let t2: f64 = l2.iter().map(|r| r.throughput_bps).sum::<f64>() / l2.len() as f64;
         assert!((t1 / t2 - 1.0).abs() < 0.1, "throughput ratio {}", t1 / t2);
         // ...but link 1 rebuffers more (the §4.1 quirk).
-        let rb1: f64 =
-            l1.iter().map(|r| r.rebuffer_indicator()).sum::<f64>() / l1.len() as f64;
-        let rb2: f64 =
-            l2.iter().map(|r| r.rebuffer_indicator()).sum::<f64>() / l2.len() as f64;
+        let rb1: f64 = l1.iter().map(|r| r.rebuffer_indicator()).sum::<f64>() / l1.len() as f64;
+        let rb2: f64 = l2.iter().map(|r| r.rebuffer_indicator()).sum::<f64>() / l2.len() as f64;
         assert!(rb1 > rb2, "rebuffer rates {rb1} vs {rb2}");
     }
 
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let sim =
-                LinkSim::new(small_cfg(), LinkId::One, AllocationSchedule::Constant(0.5), seed);
+            let sim = LinkSim::new(
+                small_cfg(),
+                LinkId::One,
+                AllocationSchedule::Constant(0.5),
+                seed,
+            );
             let (records, _) = sim.run();
             (records.len(), records.iter().map(|r| r.bytes).sum::<f64>())
         };

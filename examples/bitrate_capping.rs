@@ -23,10 +23,15 @@ fn main() {
         "paired-link bitrate-capping experiment: {} sessions over 3 days\n",
         out.data.len()
     );
-    let rows: Vec<_> = [Metric::Throughput, Metric::MinRtt, Metric::Bitrate, Metric::PlayDelay]
-        .into_iter()
-        .filter_map(|m| paired_link_effects(&out.data, m).ok())
-        .collect();
+    let rows: Vec<_> = [
+        Metric::Throughput,
+        Metric::MinRtt,
+        Metric::Bitrate,
+        Metric::PlayDelay,
+    ]
+    .into_iter()
+    .filter_map(|m| paired_link_effects(&out.data, m).ok())
+    .collect();
     println!("{}", render_effects_table(&rows));
     println!(
         "Read it like the paper's Figure 5: within-link A/B columns miss (or\n\

@@ -48,6 +48,9 @@ fn main() {
     let (all_two, _) = experiment(10, 31);
     println!("\n  all-1-conn mean: {:.1} Mb/s", all_one / 1e6);
     println!("  all-2-conn mean: {:.1} Mb/s", all_two / 1e6);
-    println!("  total treatment effect: {:+.0}%", 100.0 * (all_two / all_one - 1.0));
+    println!(
+        "  total treatment effect: {:+.0}%",
+        100.0 * (all_two / all_one - 1.0)
+    );
     println!("\nEvery A/B test promises ~+100%; deploying to everyone delivers ~0%.");
 }

@@ -14,12 +14,18 @@ use causal::potential::{FairShare, PotentialOutcomes};
 fn main() {
     // 100 applications share a congested link. "Treatment" doubles an
     // application's aggressiveness (e.g. it opens a second connection).
-    let model = FairShare { n: 100, capacity: 1000.0, weight_treated: 2.0, weight_control: 1.0 };
+    let model = FairShare {
+        n: 100,
+        capacity: 1000.0,
+        weight_treated: 2.0,
+        weight_control: 1.0,
+    };
 
     // --- What an experimenter does: a 10% A/B test. -------------------
     let assignment = Assignment::bernoulli(model.n(), 0.10, 7);
-    let outcomes: Vec<f64> =
-        (0..model.n()).map(|i| model.outcome(i, &assignment)).collect();
+    let outcomes: Vec<f64> = (0..model.n())
+        .map(|i| model.outcome(i, &assignment))
+        .collect();
     let est = naive_ab(&outcomes, &assignment, 0.95).expect("estimable");
     let (_, control_mean) = arm_means(&outcomes, &assignment).expect("both arms present");
 
@@ -43,7 +49,10 @@ fn main() {
     println!("\nallocation-response curves (the paper's Figure 1b):");
     println!("  p      mu_T     mu_C");
     for (i, p) in curves.ps.iter().enumerate() {
-        println!("  {:.1}  {:>7.3}  {:>7.3}", p, curves.mu_t[i], curves.mu_c[i]);
+        println!(
+            "  {:.1}  {:>7.3}  {:>7.3}",
+            p, curves.mu_t[i], curves.mu_c[i]
+        );
     }
     println!(
         "\nThe A/B contrast (+100%) persists at every allocation, yet deploying\n\

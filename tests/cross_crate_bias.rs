@@ -32,11 +32,15 @@ fn lab(k_two_conn: usize, seed: u64) -> netsim::LabResult {
 fn packet_sim_matches_fair_share_model_prediction() {
     // Closed-form model: with k of n apps doubled, treated get
     // 2C/(n+k), control C/(n+k).
-    let model = FairShare { n: 10, capacity: 100e6, weight_treated: 2.0, weight_control: 1.0 };
+    let model = FairShare {
+        n: 10,
+        capacity: 100e6,
+        weight_treated: 2.0,
+        weight_control: 1.0,
+    };
     let k = 3;
     let res = lab(k, 5);
-    let treated: f64 =
-        res.apps[..k].iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64;
+    let treated: f64 = res.apps[..k].iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64;
     let control: f64 =
         res.apps[k..].iter().map(|a| a.throughput_bps).sum::<f64>() / (10 - k) as f64;
     let assign = causal::Assignment::from_vec((0..10).map(|i| i < k).collect());
@@ -57,8 +61,16 @@ fn packet_sim_matches_fair_share_model_prediction() {
 #[test]
 fn ab_contrast_large_but_tte_zero_in_packet_sim() {
     let mixed = lab(5, 6);
-    let t: f64 = mixed.apps[..5].iter().map(|a| a.throughput_bps).sum::<f64>() / 5.0;
-    let c: f64 = mixed.apps[5..].iter().map(|a| a.throughput_bps).sum::<f64>() / 5.0;
+    let t: f64 = mixed.apps[..5]
+        .iter()
+        .map(|a| a.throughput_bps)
+        .sum::<f64>()
+        / 5.0;
+    let c: f64 = mixed.apps[5..]
+        .iter()
+        .map(|a| a.throughput_bps)
+        .sum::<f64>()
+        / 5.0;
     assert!(t / c > 1.5, "A/B contrast should be large: {:.2}", t / c);
 
     let all_one = lab(0, 7);
@@ -66,5 +78,8 @@ fn ab_contrast_large_but_tte_zero_in_packet_sim() {
     let m1: f64 = all_one.apps.iter().map(|a| a.throughput_bps).sum::<f64>() / 10.0;
     let m2: f64 = all_two.apps.iter().map(|a| a.throughput_bps).sum::<f64>() / 10.0;
     let tte = m2 / m1 - 1.0;
-    assert!(tte.abs() < 0.1, "TTE(throughput) should be ~0, got {tte:+.2}");
+    assert!(
+        tte.abs() < 0.1,
+        "TTE(throughput) should be ~0, got {tte:+.2}"
+    );
 }

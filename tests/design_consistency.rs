@@ -28,6 +28,10 @@ fn designs_agree_on_the_bitrate_effect() {
             est.relative,
             paired.relative
         );
-        assert!(est.relative < -0.1, "{name} must detect capping: {:+.3}", est.relative);
+        assert!(
+            est.relative < -0.1,
+            "{name} must detect capping: {:+.3}",
+            est.relative
+        );
     }
 }

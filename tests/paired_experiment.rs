@@ -43,9 +43,17 @@ fn bitrate_effect_dominated_by_direct_cap() {
     let out = PairedLinkDesign::paper(small_world(3), 78).run();
     let e = paired_link_effects(&out.data, Metric::Bitrate).unwrap();
     assert!(e.tte.relative < -0.15, "TTE {:+.3}", e.tte.relative);
-    assert!(e.naive_lo.relative < -0.1, "naive5 {:+.3}", e.naive_lo.relative);
-    assert!(e.naive_hi.relative < -0.1, "naive95 {:+.3}", e.naive_hi.relative);
-    assert_eq!(e.sign_flip(), false);
+    assert!(
+        e.naive_lo.relative < -0.1,
+        "naive5 {:+.3}",
+        e.naive_lo.relative
+    );
+    assert!(
+        e.naive_hi.relative < -0.1,
+        "naive95 {:+.3}",
+        e.naive_hi.relative
+    );
+    assert!(!e.sign_flip());
 }
 
 #[test]
@@ -54,5 +62,9 @@ fn spillover_positive_for_uncapped_traffic_throughput() {
     let e = paired_link_effects(&out.data, Metric::Throughput).unwrap();
     // Control sessions on the mostly-capped link do at least as well as
     // control sessions on the mostly-uncapped link.
-    assert!(e.spillover.relative > -0.05, "spillover {:+.3}", e.spillover.relative);
+    assert!(
+        e.spillover.relative > -0.05,
+        "spillover {:+.3}",
+        e.spillover.relative
+    );
 }

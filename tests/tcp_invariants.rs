@@ -61,7 +61,7 @@ proptest! {
         let mut delivered_prev = 0u64;
         s.start(now);
         for script in scripts {
-            now = now + SimDuration::from_millis(7);
+            now += SimDuration::from_millis(7);
 
             if script.fire_rto {
                 if let Some(d) = s.rto_deadline() {
