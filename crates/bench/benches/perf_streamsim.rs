@@ -5,10 +5,20 @@ use streamsim::scenario::AllocationSchedule;
 use streamsim::session::LinkId;
 use streamsim::sim::LinkSim;
 
+/// `STREAMSIM_BENCH_QUICK=1` shrinks the measurement deadline so CI can
+/// smoke-test the hot loop (compile + a couple of iterations) without
+/// paying for a full measurement run. Sample sizes stay ≥ 10 — the real
+/// criterion crate rejects anything lower, and the shim's deadline cuts
+/// the quick run short anyway.
+fn quick() -> bool {
+    std::env::var_os("STREAMSIM_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
 fn bench(_c: &mut Criterion) {
+    let quick = quick();
     let mut c = Criterion::default()
         .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(8));
+        .measurement_time(std::time::Duration::from_secs(if quick { 1 } else { 8 }));
     let c = &mut c;
     let cfg = StreamConfig {
         days: 1,
@@ -20,6 +30,25 @@ fn bench(_c: &mut Criterion) {
         b.iter(|| {
             let sim = LinkSim::new(
                 cfg.clone(),
+                LinkId::One,
+                AllocationSchedule::Constant(0.5),
+                1,
+            );
+            sim.run().0.len()
+        })
+    });
+
+    // The headline configuration: the full 5-day, 1 Gb/s world that
+    // dominates figure-regeneration wall clock (ROADMAP "Scale" item).
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(if quick { 1 } else { 15 }));
+    let c = &mut c;
+    let default_cfg = StreamConfig::default();
+    c.bench_function("streamsim_five_day_default", |b| {
+        b.iter(|| {
+            let sim = LinkSim::new(
+                default_cfg.clone(),
                 LinkId::One,
                 AllocationSchedule::Constant(0.5),
                 1,

@@ -1,19 +1,66 @@
 //! Figure 5: the main paired-link experiment. Naïve 5%/95% A/B estimates
-//! vs approximate TTE and spillover for every metric.
-use unbiased::designs::paired_link_effects;
-use unbiased::report::render_effects_table;
+//! vs approximate TTE and spillover for every metric — aggregated across
+//! replication seeds (mean ± 95% CI of the per-seed relative effects),
+//! so the table reports cross-seed variability instead of one world.
+use expstats::mean_ci;
+use expstats::table::{pct, pct_ci, Table};
+use repro_bench::{derive_seeds, Runner};
+use unbiased::designs::{paired_link_effects, MetricEffects};
+
+const REPLICATIONS: usize = 8;
+
+/// "mean (lo..hi)" across seeds, or a dash when too few finite values.
+fn ci_cell(vals: &[f64]) -> String {
+    let finite: Vec<f64> = vals.iter().copied().filter(|v| v.is_finite()).collect();
+    match mean_ci(&finite, 0.95) {
+        Ok(d) => format!("{} {}", pct(d.estimate), pct_ci(d.ci)),
+        Err(_) => "-".to_string(),
+    }
+}
 
 fn main() {
     let design = repro_bench::main_experiment(0.35, 5, 202);
-    let out = design.run();
+    let seeds = derive_seeds(202, REPLICATIONS);
+    let runs = Runner::new().sweep_paired(&design, &seeds);
+    let sessions: usize = runs.iter().map(|r| r.result.data.len()).sum::<usize>() / runs.len();
     println!(
-        "Figure 5: bitrate-capping paired-link experiment ({} sessions, 5 days)\n",
-        out.data.len()
+        "Figure 5: bitrate-capping paired-link experiment \
+         ({REPLICATIONS} seeds × ~{sessions} sessions, 5 days)\n"
     );
-    let rows: Vec<_> = repro_bench::figure5_metrics()
-        .into_iter()
-        .filter_map(|m| paired_link_effects(&out.data, m).ok())
-        .collect();
-    println!("{}", render_effects_table(&rows));
+    let mut t = Table::new(vec![
+        "metric",
+        "naive 5% A/B",
+        "naive 95% A/B",
+        "TTE",
+        "spillover",
+        "sign flip",
+    ]);
+    for m in repro_bench::figure5_metrics() {
+        let effects: Vec<MetricEffects> = runs
+            .iter()
+            .filter_map(|r| paired_link_effects(&r.result.data, m).ok())
+            .collect();
+        if effects.is_empty() {
+            continue;
+        }
+        let col =
+            |f: &dyn Fn(&MetricEffects) -> f64| ci_cell(&effects.iter().map(f).collect::<Vec<_>>());
+        let flips = effects.iter().filter(|e| e.sign_flip()).count();
+        t.row(vec![
+            m.name().to_string(),
+            col(&|e| e.naive_lo.relative),
+            col(&|e| e.naive_hi.relative),
+            col(&|e| e.tte.relative),
+            col(&|e| e.spillover.relative),
+            if flips * 2 > effects.len() {
+                format!("YES ({flips}/{})", effects.len())
+            } else if flips > 0 {
+                format!("({flips}/{})", effects.len())
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    println!("{}", t.render());
     println!("(paper: naive says throughput -5% / TTE +12%; min RTT naive +5..12% / TTE -24%)");
 }

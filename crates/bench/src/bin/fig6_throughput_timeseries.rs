@@ -1,61 +1,121 @@
 //! Figure 6: hourly client throughput, baseline Saturday vs experiment
-//! Saturday, normalized to the largest hourly average.
+//! Saturday, normalized to the largest hourly average — aggregated
+//! across replication seeds (per-hour mean with a ± 95% half-width
+//! column), so the series report cross-seed variability.
+use expstats::mean_ci;
+use repro_bench::{derive_seeds, Runner};
 use streamsim::scenario::AllocationSchedule;
 use streamsim::session::{LinkId, Metric};
-use streamsim::sim::PairedSim;
 use unbiased::dataset::Dataset;
 use unbiased::report::render_time_series;
+
+const REPLICATIONS: usize = 6;
 
 fn series(data: &Dataset, link: LinkId, day: usize) -> Vec<f64> {
     let recs = data.filter(|r| r.link == link && r.day == day);
     let cells = Dataset::hourly_means(&recs, Metric::Throughput);
-    (0..24)
+    let raw: Vec<f64> = (0..24)
         .map(|h| {
             cells
                 .iter()
                 .find(|&&(_, hh, _)| hh == h)
                 .map_or(f64::NAN, |&(_, _, v)| v)
         })
-        .collect()
+        .collect();
+    repro_bench::normalize_to_max(&raw)
+}
+
+/// Per-hour cross-seed mean and 95% CI half-width.
+fn aggregate(per_seed: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    let mut means = Vec::with_capacity(24);
+    let mut widths = Vec::with_capacity(24);
+    for h in 0..24 {
+        let vals: Vec<f64> = per_seed
+            .iter()
+            .map(|s| s[h])
+            .filter(|v| v.is_finite())
+            .collect();
+        match mean_ci(&vals, 0.95) {
+            Ok(d) => {
+                means.push(d.estimate);
+                widths.push((d.ci.1 - d.ci.0) / 2.0);
+            }
+            Err(_) => {
+                means.push(f64::NAN);
+                widths.push(f64::NAN);
+            }
+        }
+    }
+    (means, widths)
 }
 
 fn main() {
     // Saturday is day 3 of the Wednesday-aligned week.
     let day = 3;
     let cfg = repro_bench::paired_config(0.35, 4);
-    let baseline = PairedSim::with_paper_biases(
-        cfg.clone(),
-        [AllocationSchedule::none(), AllocationSchedule::none()],
-        301,
-    )
-    .run();
-    let base_data = Dataset::new(baseline.sessions);
+    let runner = Runner::new();
+
+    // One Dataset per replication; `series` borrows instead of cloning.
+    let baseline: Vec<Dataset> = runner
+        .sweep_paired_baseline(
+            &cfg,
+            &[AllocationSchedule::none(), AllocationSchedule::none()],
+            &derive_seeds(301, REPLICATIONS),
+        )
+        .into_iter()
+        .map(|r| Dataset::new(r.result.0))
+        .collect();
     let design = repro_bench::main_experiment(0.35, 4, 302);
-    let exp = design.run();
-    let norm = |v: Vec<f64>| repro_bench::normalize_to_max(&v);
+    let experiment = runner.sweep_paired(&design, &derive_seeds(302, REPLICATIONS));
+
+    let base_series = |link| {
+        aggregate(
+            &baseline
+                .iter()
+                .map(|d| series(d, link, day))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let exp_series = |link| {
+        aggregate(
+            &experiment
+                .iter()
+                .map(|r| series(&r.result.data, link, day))
+                .collect::<Vec<_>>(),
+        )
+    };
+
+    let (b1, b1w) = base_series(LinkId::One);
+    let (b2, b2w) = base_series(LinkId::Two);
     println!(
         "{}",
         render_time_series(
-            "Figure 6a: baseline Saturday (normalized hourly throughput)",
+            &format!(
+                "Figure 6a: baseline Saturday (normalized hourly throughput, \
+                 mean ± 95% half-width over {REPLICATIONS} seeds)"
+            ),
             &[
-                ("link1".into(), norm(series(&base_data, LinkId::One, day))),
-                ("link2".into(), norm(series(&base_data, LinkId::Two, day))),
+                ("link1".into(), b1),
+                ("±".into(), b1w),
+                ("link2".into(), b2),
+                ("±".into(), b2w),
             ],
         )
     );
+    let (e1, e1w) = exp_series(LinkId::One);
+    let (e2, e2w) = exp_series(LinkId::Two);
     println!(
         "{}",
         render_time_series(
-            "Figure 6b: experiment Saturday (link1 95% capped, link2 5%)",
+            &format!(
+                "Figure 6b: experiment Saturday (link1 95% capped, link2 5%; \
+                 mean ± 95% half-width over {REPLICATIONS} seeds)"
+            ),
             &[
-                (
-                    "link1(95%)".into(),
-                    norm(series(&exp.data, LinkId::One, day))
-                ),
-                (
-                    "link2(5%)".into(),
-                    norm(series(&exp.data, LinkId::Two, day))
-                ),
+                ("link1(95%)".into(), e1),
+                ("±".into(), e1w),
+                ("link2(5%)".into(), e2),
+                ("±".into(), e2w),
             ],
         )
     );

@@ -1,36 +1,66 @@
-//! Figure 7: the four throughput cell means with estimands annotated.
-use expstats::table::{pct, Table};
+//! Figure 7: the four throughput cell means with estimands annotated —
+//! aggregated across replication seeds (mean ± 95% CI), so each cell and
+//! contrast reports cross-seed variability.
+use expstats::table::{pct, pct_ci, Table};
+use repro_bench::{derive_seeds, metric_ci, Runner, SeedRun};
 use streamsim::session::{LinkId, Metric};
 use unbiased::dataset::Dataset;
+use unbiased::designs::PairedOutcome;
+
+const REPLICATIONS: usize = 8;
 
 fn main() {
-    let out = repro_bench::main_experiment(0.35, 5, 202).run();
+    let design = repro_bench::main_experiment(0.35, 5, 202);
+    let runs: Vec<SeedRun<PairedOutcome>> =
+        Runner::new().sweep_paired(&design, &derive_seeds(202, REPLICATIONS));
     let m = Metric::Throughput;
-    let cell = |l, t| Dataset::mean(&out.data.cell(l, t), m);
-    let (t1, c1) = (cell(LinkId::One, true), cell(LinkId::One, false));
-    let (t2, c2) = (cell(LinkId::Two, true), cell(LinkId::Two, false));
-    println!("Figure 7: average throughput per cell (Mb/s)\n");
-    let mut t = Table::new(vec!["cell", "capped (T)", "uncapped (C)"]);
-    t.row(vec![
-        "link 1 (95% capped)".to_string(),
-        format!("{:.2}", t1 / 1e6),
-        format!("{:.2}", c1 / 1e6),
-    ]);
-    t.row(vec![
-        "link 2 (5% capped)".to_string(),
-        format!("{:.2}", t2 / 1e6),
-        format!("{:.2}", c2 / 1e6),
-    ]);
-    println!("{}", t.render());
+    let cell_of = |out: &PairedOutcome, l, t| Dataset::mean(&out.data.cell(l, t), m);
+
+    let cell_ci = |l, t| metric_ci(&runs, 0.95, |out| cell_of(out, l, t)).unwrap();
+    let contrast_ci = |f: &dyn Fn(&PairedOutcome) -> f64| metric_ci(&runs, 0.95, f).unwrap();
+
     println!(
-        "tau(0.95) = {}   tau(0.05) = {}",
-        pct(t1 / c1 - 1.0),
-        pct(t2 / c2 - 1.0)
+        "Figure 7: average throughput per cell (Mb/s, mean ± 95% CI over {REPLICATIONS} seeds)\n"
+    );
+    let mbs = |c: &repro_bench::SeedCi| {
+        format!(
+            "{:.2} ({:.2}..{:.2})",
+            c.mean / 1e6,
+            c.ci.0 / 1e6,
+            c.ci.1 / 1e6
+        )
+    };
+    let (t1, c1) = (cell_ci(LinkId::One, true), cell_ci(LinkId::One, false));
+    let (t2, c2) = (cell_ci(LinkId::Two, true), cell_ci(LinkId::Two, false));
+    let mut t = Table::new(vec!["cell", "capped (T)", "uncapped (C)"]);
+    t.row(vec!["link 1 (95% capped)".to_string(), mbs(&t1), mbs(&c1)]);
+    t.row(vec!["link 2 (5% capped)".to_string(), mbs(&t2), mbs(&c2)]);
+    println!("{}", t.render());
+
+    let ratio = |num: &dyn Fn(&PairedOutcome) -> f64, den: &dyn Fn(&PairedOutcome) -> f64| {
+        contrast_ci(&|out: &PairedOutcome| num(out) / den(out) - 1.0)
+    };
+    let t1f = |out: &PairedOutcome| cell_of(out, LinkId::One, true);
+    let c1f = |out: &PairedOutcome| cell_of(out, LinkId::One, false);
+    let t2f = |out: &PairedOutcome| cell_of(out, LinkId::Two, true);
+    let c2f = |out: &PairedOutcome| cell_of(out, LinkId::Two, false);
+    let tau_hi = ratio(&t1f, &c1f);
+    let tau_lo = ratio(&t2f, &c2f);
+    let tte = ratio(&t1f, &c2f);
+    let spill = ratio(&c1f, &c2f);
+    println!(
+        "tau(0.95) = {} {}   tau(0.05) = {} {}",
+        pct(tau_hi.mean),
+        pct_ci(tau_hi.ci),
+        pct(tau_lo.mean),
+        pct_ci(tau_lo.ci)
     );
     println!(
-        "TTE ~ {}   spillover ~ {}",
-        pct(t1 / c2 - 1.0),
-        pct(c1 / c2 - 1.0)
+        "TTE ~ {} {}   spillover ~ {} {}",
+        pct(tte.mean),
+        pct_ci(tte.ci),
+        pct(spill.mean),
+        pct_ci(spill.ci)
     );
     println!("(paper: both A/B contrasts ~ -5%, TTE +12%, spillover +16%)");
 }

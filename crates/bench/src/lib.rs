@@ -9,7 +9,7 @@
 
 pub mod runner;
 
-pub use runner::{derive_seeds, metric_across_seeds, Runner, SeedRun};
+pub use runner::{derive_seeds, metric_across_seeds, metric_ci, Runner, SeedCi, SeedRun};
 
 use dessim::SimDuration;
 use netsim::config::{AppConfig, CcKind, DumbbellConfig};

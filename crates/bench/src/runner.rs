@@ -27,6 +27,11 @@ use std::sync::Mutex;
 use dessim::SimRng;
 use netsim::config::DumbbellConfig;
 use netsim::{run_dumbbell, LabResult};
+use streamsim::config::StreamConfig;
+use streamsim::scenario::AllocationSchedule;
+use streamsim::session::{LinkId, SessionRecord};
+use streamsim::sim::{HourlyLinkStats, LinkSim, PairedSim};
+use unbiased::designs::{PairedLinkDesign, PairedOutcome};
 
 /// One replication's outcome, tagged with the seed that produced it.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,6 +174,87 @@ impl Runner {
             run_dumbbell(&cfg).expect("sweep config must be valid")
         })
     }
+
+    /// Sweep the paired-link streaming experiment: each replication
+    /// reruns the design under a replication seed (the §4/§5 figures
+    /// report cross-seed variability from these).
+    pub fn sweep_paired(
+        &self,
+        design: &PairedLinkDesign,
+        seeds: &[u64],
+    ) -> Vec<SeedRun<PairedOutcome>> {
+        self.sweep(design, seeds, |design, seed| {
+            PairedLinkDesign {
+                seed,
+                ..design.clone()
+            }
+            .run()
+        })
+    }
+
+    /// Sweep a baseline (scheduled, possibly untreated) paired world —
+    /// the A/A and baseline-similarity figures.
+    pub fn sweep_paired_baseline(
+        &self,
+        cfg: &StreamConfig,
+        schedules: &[AllocationSchedule; 2],
+        seeds: &[u64],
+    ) -> Vec<SeedRun<PairedBaselineRun>> {
+        self.sweep(cfg, seeds, |cfg, seed| {
+            let run = PairedSim::with_paper_biases(cfg.clone(), schedules.clone(), seed).run();
+            (run.sessions, run.hourly)
+        })
+    }
+
+    /// Sweep a single streaming link under `schedule`.
+    pub fn sweep_link(
+        &self,
+        cfg: &StreamConfig,
+        schedule: &AllocationSchedule,
+        link: LinkId,
+        seeds: &[u64],
+    ) -> Vec<SeedRun<(Vec<SessionRecord>, Vec<HourlyLinkStats>)>> {
+        self.sweep(cfg, seeds, |cfg, seed| {
+            LinkSim::new(cfg.clone(), link, schedule.clone(), seed).run()
+        })
+    }
+}
+
+/// One paired-baseline replication: session records from both links
+/// plus per-link hourly statistics.
+pub type PairedBaselineRun = (Vec<SessionRecord>, [Vec<HourlyLinkStats>; 2]);
+
+/// Cross-seed summary of one scalar metric: mean across replications
+/// with a Student-t confidence interval on that mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedCi {
+    /// Mean across replications.
+    pub mean: f64,
+    /// Confidence interval for the mean at the requested level.
+    pub ci: (f64, f64),
+    /// Standard error of the mean.
+    pub se: f64,
+    /// Replications used (non-finite metric values are dropped).
+    pub n: usize,
+}
+
+/// Aggregate one scalar metric across replications into a mean ± CI
+/// (via `expstats::mean_ci`). Non-finite per-seed values are dropped;
+/// errors if fewer than two finite replications remain.
+pub fn metric_ci<R>(
+    runs: &[SeedRun<R>],
+    level: f64,
+    metric: impl Fn(&R) -> f64,
+) -> expstats::Result<SeedCi> {
+    let mut vals = metric_across_seeds(runs, metric);
+    vals.retain(|v| v.is_finite());
+    let d = expstats::mean_ci(&vals, level)?;
+    Ok(SeedCi {
+        mean: d.estimate,
+        ci: d.ci,
+        se: d.se,
+        n: vals.len(),
+    })
 }
 
 /// Extract one scalar metric from every replication (e.g. for a mean ±
@@ -229,6 +315,60 @@ mod tests {
             assert!(j != 3, "boom");
             j
         });
+    }
+
+    #[test]
+    fn metric_ci_drops_non_finite_and_matches_mean() {
+        let runs: Vec<SeedRun<f64>> = [10.0, 12.0, f64::NAN, 14.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| SeedRun {
+                seed: i as u64,
+                result: v,
+            })
+            .collect();
+        let ci = metric_ci(&runs, 0.95, |&v| v).unwrap();
+        assert_eq!(ci.n, 3);
+        assert!((ci.mean - 12.0).abs() < 1e-12);
+        assert!(ci.ci.0 < 12.0 && 12.0 < ci.ci.1);
+        // All-NaN input errors instead of returning NaN.
+        let bad: Vec<SeedRun<f64>> = vec![
+            SeedRun {
+                seed: 0,
+                result: f64::NAN,
+            },
+            SeedRun {
+                seed: 1,
+                result: f64::NAN,
+            },
+        ];
+        assert!(metric_ci(&bad, 0.95, |&v| v).is_err());
+    }
+
+    #[test]
+    fn stream_sweeps_match_sequential() {
+        let cfg = StreamConfig {
+            days: 1,
+            capacity_bps: 60e6,
+            peak_arrivals_per_s: 0.24 * 0.06,
+            ..Default::default()
+        };
+        let seeds = derive_seeds(5, 4);
+        let schedule = AllocationSchedule::Constant(0.5);
+        let fingerprint = |runs: &[SeedRun<(Vec<SessionRecord>, Vec<HourlyLinkStats>)>]| {
+            runs.iter()
+                .map(|r| {
+                    (
+                        r.seed,
+                        r.result.0.len(),
+                        r.result.0.iter().map(|s| s.bytes).sum::<f64>().to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let par = Runner::with_threads(4).sweep_link(&cfg, &schedule, LinkId::One, &seeds);
+        let seq = Runner::with_threads(1).sweep_link(&cfg, &schedule, LinkId::One, &seeds);
+        assert_eq!(fingerprint(&par), fingerprint(&seq));
     }
 
     #[test]

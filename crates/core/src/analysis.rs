@@ -34,6 +34,12 @@ pub struct EffectEstimate {
     pub se: f64,
     /// Observations (sessions or hourly cells) used.
     pub n: usize,
+    /// Whether a weekend fixed effect was actually included in the
+    /// regression. [`hourly_effect_weekend_adjusted`] silently drops the
+    /// dummy when it is degenerate or collinear with the arm (treated
+    /// days ≡ weekend days) — this flag lets callers tell an adjusted
+    /// estimate from a fallback to the plain contrast.
+    pub weekend_adjusted: bool,
 }
 
 impl EffectEstimate {
@@ -67,6 +73,7 @@ pub fn unit_effect(
         ci95: r.ci,
         se: r.se,
         n: t.len() + c.len(),
+        weekend_adjusted: false,
     })
 }
 
@@ -156,11 +163,12 @@ fn hourly_effect_impl(
         }
         b.dummies("hour", &hours)?.build()
     };
-    let fit = match Ols::fit(design(use_weekend)?, &y) {
-        Ok(fit) => fit,
+    let (fit, weekend_adjusted) = match Ols::fit(design(use_weekend)?, &y) {
+        Ok(fit) => (fit, use_weekend),
         // Treated days ≡ weekend days makes the dummy collinear with the
-        // arm; the adjustment is impossible, report the plain contrast.
-        Err(StatsError::RankDeficient) if use_weekend => Ols::fit(design(false)?, &y)?,
+        // arm; the adjustment is impossible, report the plain contrast
+        // (and record that via `weekend_adjusted: false`).
+        Err(StatsError::RankDeficient) if use_weekend => (Ols::fit(design(false)?, &y)?, false),
         Err(e) => return Err(e),
     };
     let est = fit.coef[1];
@@ -175,6 +183,7 @@ fn hourly_effect_impl(
         ci95: ((est - tcrit * se) / baseline, (est + tcrit * se) / baseline),
         se: se / baseline.abs(),
         n,
+        weekend_adjusted,
     })
 }
 
@@ -329,6 +338,80 @@ mod tests {
         // Both still cover the truth (+2%).
         assert!(hourly.ci95.0 <= 0.02 && 0.02 <= hourly.ci95.1);
         assert!(unit.ci95.0 <= 0.02 && 0.02 <= unit.ci95.1);
+    }
+
+    /// Sessions with hour structure where treated/control cells can be
+    /// placed on arbitrary (day, weekend) combinations.
+    fn rec_weekend(
+        treated: bool,
+        day: usize,
+        hour: usize,
+        weekend: bool,
+        tput: f64,
+    ) -> SessionRecord {
+        SessionRecord {
+            weekend,
+            ..rec(treated, day, hour, tput)
+        }
+    }
+
+    #[test]
+    fn weekend_adjusted_flag_reports_what_the_regression_did() {
+        // Both arms observed on both kinds of day: the dummy identifies
+        // and the flag is set.
+        let mut t = Vec::new();
+        let mut c = Vec::new();
+        for day in 0..4 {
+            let weekend = day >= 2;
+            let boost = if weekend { 20.0 } else { 0.0 };
+            for hour in 0..24 {
+                for k in 0..2 {
+                    let noise = ((day + hour + k) % 3) as f64;
+                    c.push(rec_weekend(
+                        false,
+                        day,
+                        hour,
+                        weekend,
+                        100.0 + boost + noise,
+                    ));
+                    t.push(rec_weekend(true, day, hour, weekend, 110.0 + boost + noise));
+                }
+            }
+        }
+        let tr: Vec<&SessionRecord> = t.iter().collect();
+        let cr: Vec<&SessionRecord> = c.iter().collect();
+        let e = hourly_effect_weekend_adjusted(Metric::Throughput, &tr, &cr, 100.0).unwrap();
+        assert!(e.weekend_adjusted, "dummy should be included");
+        assert!((e.absolute - 10.0).abs() < 1.0, "abs {}", e.absolute);
+
+        // Treated days ≡ weekend days: the dummy copies the arm, the
+        // adjustment must fall back and say so.
+        let mut t = Vec::new();
+        let mut c = Vec::new();
+        for day in 0..4 {
+            let weekend = day >= 2;
+            for hour in 0..24 {
+                for k in 0..2 {
+                    let noise = ((day + hour + k) % 3) as f64;
+                    if weekend {
+                        t.push(rec_weekend(true, day, hour, true, 110.0 + noise));
+                    } else {
+                        c.push(rec_weekend(false, day, hour, false, 100.0 + noise));
+                    }
+                }
+            }
+        }
+        let tr: Vec<&SessionRecord> = t.iter().collect();
+        let cr: Vec<&SessionRecord> = c.iter().collect();
+        let e = hourly_effect_weekend_adjusted(Metric::Throughput, &tr, &cr, 100.0).unwrap();
+        assert!(!e.weekend_adjusted, "collinear dummy must be dropped");
+
+        // The plain hourly regression never claims adjustment.
+        let (t, c) = structured(5.0);
+        let tr: Vec<&SessionRecord> = t.iter().collect();
+        let cr: Vec<&SessionRecord> = c.iter().collect();
+        let e = hourly_effect(Metric::Throughput, &tr, &cr, 100.0).unwrap();
+        assert!(!e.weekend_adjusted);
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod tests {
             ci95: (rel - 0.02, rel + 0.02),
             se: 0.01,
             n: 100,
+            weekend_adjusted: false,
         }
     }
 

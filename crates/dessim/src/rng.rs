@@ -48,11 +48,13 @@ impl SimRng {
     }
 
     /// Uniform float in `[0, 1)` (53 random mantissa bits).
+    #[inline]
     pub fn uniform01(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
+    #[inline]
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         debug_assert!(lo <= hi, "uniform: lo must not exceed hi");
         lo + (hi - lo) * self.uniform01()
@@ -60,17 +62,20 @@ impl SimRng {
 
     /// Uniform integer in `[0, bound)` (Lemire's multiply-shift; the
     /// ~2^-64 modulo bias is irrelevant at simulation scales).
+    #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0, "below: bound must be positive");
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0,1]`).
+    #[inline]
     pub fn bernoulli(&mut self, p: f64) -> bool {
         self.uniform01() < p.clamp(0.0, 1.0)
     }
 
     /// Exponential with the given rate (mean `1/rate`).
+    #[inline]
     pub fn exponential(&mut self, rate: f64) -> f64 {
         debug_assert!(rate > 0.0, "exponential: rate must be positive");
         // Inverse transform; 1-U avoids ln(0).
@@ -78,19 +83,37 @@ impl SimRng {
     }
 
     /// Standard normal via the Box–Muller transform.
+    #[inline]
     pub fn standard_normal(&mut self) -> f64 {
         let u1: f64 = 1.0 - self.uniform01(); // (0,1]
         let u2: f64 = self.uniform01();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
+    /// Two independent standard normals from one Box–Muller transform
+    /// (the cosine and sine branches share the log/sqrt radius work, so
+    /// hot loops that consume normals in bulk pay half the
+    /// transcendental cost). The first element is bit-identical to what
+    /// [`SimRng::standard_normal`] would have returned from the same
+    /// state.
+    #[inline]
+    pub fn standard_normal_pair(&mut self) -> (f64, f64) {
+        let u1: f64 = 1.0 - self.uniform01(); // (0,1]
+        let u2: f64 = self.uniform01();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        (r * theta.cos(), r * theta.sin())
+    }
+
     /// Normal with the given mean and standard deviation.
+    #[inline]
     pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
         debug_assert!(sd >= 0.0, "normal: sd must be non-negative");
         mean + sd * self.standard_normal()
     }
 
     /// Log-normal: `exp(N(mu, sigma))` (parameters on the log scale).
+    #[inline]
     pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
         self.normal(mu, sigma).exp()
     }
@@ -103,6 +126,7 @@ impl SimRng {
     }
 
     /// Raw 64-bit draw (xoshiro256++ step).
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
         let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);

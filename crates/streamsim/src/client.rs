@@ -40,12 +40,20 @@ pub struct Client {
     throughput_est: f64,
     /// Per-chunk multiplicative noise on achievable throughput.
     chunk_noise: f64,
+    /// Banked second normal draw from the last Box–Muller pair (chunk
+    /// noise is the simulator's dominant transcendental cost; drawing
+    /// normals in pairs halves it).
+    noise_spare: Option<f64>,
     /// Video seconds downloaded within the current chunk.
     chunk_progress_s: f64,
 
     // Accumulators.
     bytes: f64,
     retx_bytes: f64,
+    /// Ticks lived so far; the volume-independent retransmission term is
+    /// `fixed_retx_bytes_per_s · dt · ticks`, applied once at session
+    /// end instead of accumulating float adds every tick.
+    ticks_alive: u64,
     active_dl_s: f64,
     min_rtt_s: f64,
     play_delay_s: f64,
@@ -53,7 +61,10 @@ pub struct Client {
     switches: u32,
     bitrate_time_product: f64,
     quality_time_product: f64,
-    play_time_s: f64,
+    /// Playing ticks since the last bitrate change; the bitrate/quality
+    /// time products fold one multiply per *segment* (bitrate changes
+    /// only at chunk boundaries) instead of two per tick.
+    seg_play_ticks: u64,
 
     noise_sigma: f64,
     dip_prob: f64,
@@ -114,9 +125,11 @@ impl Client {
             access_bps,
             throughput_est,
             chunk_noise,
+            noise_spare: None,
             chunk_progress_s: 0.0,
             bytes: 0.0,
             retx_bytes: 0.0,
+            ticks_alive: 0,
             active_dl_s: 0.0,
             min_rtt_s: f64::INFINITY,
             play_delay_s: f64::NAN,
@@ -124,7 +137,7 @@ impl Client {
             switches: 0,
             bitrate_time_product: 0.0,
             quality_time_product: 0.0,
-            play_time_s: 0.0,
+            seg_play_ticks: 0,
             noise_sigma: sigma,
             dip_prob: (cfg.dip_prob * cfg.rebuffer_bias).min(0.5),
             rng,
@@ -137,6 +150,12 @@ impl Client {
     }
 
     /// Desired download rate for this tick (bounded by the access line).
+    ///
+    /// Note the demand is *two-valued* over a session's lifetime: the
+    /// constant access-capped rate while downloading, or zero while
+    /// idling on a full playback buffer. `LinkSim` relies on this to
+    /// maintain its demand-sorted allocation order without sorting.
+    #[inline]
     pub fn demand(&self, cfg: &StreamConfig) -> Demand {
         let rate = match self.phase {
             Phase::Startup | Phase::Rebuffering => self.access_bps,
@@ -156,6 +175,7 @@ impl Client {
     /// Advance one tick given the allocated rate and current link state.
     /// Returns a finished [`SessionRecord`] when the session ends.
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     pub fn step(
         &mut self,
         cfg: &StreamConfig,
@@ -166,36 +186,48 @@ impl Client {
         now_s: f64,
         dt_s: f64,
     ) -> Option<SessionRecord> {
-        // Effective goodput: allocation degraded by per-chunk last-mile
-        // noise (mean-one lognormal) and overload loss.
-        let rate = allocated_bps.min(self.access_bps) * self.chunk_noise * (1.0 - loss);
         let downloading = match self.phase {
             Phase::Startup | Phase::Rebuffering => true,
             Phase::Playing => self.buffer_s < cfg.max_buffer_s,
         };
 
-        if downloading && rate > 0.0 {
-            let payload_bytes = rate * dt_s / 8.0;
-            self.bytes += payload_bytes;
-            // Retransmissions: volume-proportional (path loss floor +
-            // damped overload loss) plus a volume-independent term.
-            self.retx_bytes += payload_bytes * (cfg.loss_floor + loss * cfg.loss_to_retx);
-            self.active_dl_s += dt_s;
-            let video_s = rate * dt_s / self.bitrate;
-            self.buffer_s += video_s;
-            self.chunk_progress_s += video_s;
+        // Effective goodput: allocation degraded by per-chunk last-mile
+        // noise (mean-one lognormal) and overload loss. Only computed
+        // while downloading — idle sessions skip the whole block.
+        let mut rate = 0.0;
+        if downloading {
+            rate = allocated_bps.min(self.access_bps) * self.chunk_noise * (1.0 - loss);
+            if rate > 0.0 {
+                let payload_bytes = rate * dt_s / 8.0;
+                self.bytes += payload_bytes;
+                // Retransmissions: volume-proportional (path loss floor +
+                // damped overload loss) plus a volume-independent term.
+                self.retx_bytes += payload_bytes * (cfg.loss_floor + loss * cfg.loss_to_retx);
+                self.active_dl_s += dt_s;
+                let video_s = rate * dt_s / self.bitrate;
+                self.buffer_s += video_s;
+                self.chunk_progress_s += video_s;
+            }
         }
-        self.retx_bytes += cfg.fixed_retx_bytes_per_s * dt_s;
+        self.ticks_alive += 1;
         self.min_rtt_s = self.min_rtt_s.min(rtt_s);
 
         // ABR decision at chunk boundaries.
         if self.chunk_progress_s >= cfg.chunk_s {
             self.chunk_progress_s = 0.0;
-            if downloading && rate > 0.0 {
+            if rate > 0.0 {
                 self.throughput_est = 0.8 * self.throughput_est + 0.2 * rate;
             }
             let s = self.noise_sigma;
-            self.chunk_noise = self.rng.lognormal(-0.5 * s * s, s);
+            let z = match self.noise_spare.take() {
+                Some(z) => z,
+                None => {
+                    let (a, b) = self.rng.standard_normal_pair();
+                    self.noise_spare = Some(b);
+                    a
+                }
+            };
+            self.chunk_noise = (-0.5 * s * s + s * z).exp();
             // Rare difficulty dips: a transient collapse that can drain
             // the buffer (rebuffer driver independent of link congestion).
             if self.rng.bernoulli(self.dip_prob) {
@@ -207,10 +239,13 @@ impl Client {
                 None
             };
             let next = ladder.select(self.throughput_est, cfg.abr_safety, cap);
-            if self.phase != Phase::Startup && (next - self.bitrate).abs() > 1.0 {
-                self.switches += 1;
+            if next != self.bitrate {
+                if self.phase != Phase::Startup && (next - self.bitrate).abs() > 1.0 {
+                    self.switches += 1;
+                }
+                self.fold_products(dt_s);
+                self.bitrate = next;
             }
-            self.bitrate = next;
         }
 
         match self.phase {
@@ -220,22 +255,20 @@ impl Client {
                     // Startup cost: fill time plus connection setup RTTs.
                     self.play_delay_s = (now_s - self.arrival_s) + 3.0 * rtt_s;
                 } else if now_s - self.arrival_s > self.patience_s {
-                    return Some(self.finish(now_s, true));
+                    return Some(self.finish(cfg, dt_s, now_s, true));
                 }
             }
             Phase::Playing => {
                 self.watched_s += dt_s;
-                self.play_time_s += dt_s;
                 self.buffer_s -= dt_s;
-                self.bitrate_time_product += self.bitrate * dt_s;
-                self.quality_time_product += perceptual_quality(self.bitrate) * dt_s;
+                self.seg_play_ticks += 1;
                 if self.buffer_s <= 0.0 {
                     self.buffer_s = 0.0;
                     self.phase = Phase::Rebuffering;
                     self.rebuffer_count += 1;
                 }
                 if self.watched_s >= self.watch_target_s {
-                    return Some(self.finish(now_s, false));
+                    return Some(self.finish(cfg, dt_s, now_s, false));
                 }
             }
             Phase::Rebuffering => {
@@ -247,8 +280,32 @@ impl Client {
         None
     }
 
-    fn finish(&mut self, now_s: f64, cancelled: bool) -> SessionRecord {
-        let play = self.play_time_s.max(1e-9);
+    /// Fold the current constant-bitrate segment into the time-weighted
+    /// products. Must run before `bitrate` changes and at session end.
+    #[inline]
+    fn fold_products(&mut self, dt_s: f64) {
+        if self.seg_play_ticks > 0 {
+            let t = self.seg_play_ticks as f64 * dt_s;
+            self.bitrate_time_product += self.bitrate * t;
+            self.quality_time_product += perceptual_quality(self.bitrate) * t;
+            self.seg_play_ticks = 0;
+        }
+    }
+
+    fn finish(
+        &mut self,
+        cfg: &StreamConfig,
+        dt_s: f64,
+        now_s: f64,
+        cancelled: bool,
+    ) -> SessionRecord {
+        // Volume-independent retransmissions (connection upkeep, tail
+        // losses), accrued once over the session's lifetime.
+        self.retx_bytes += cfg.fixed_retx_bytes_per_s * dt_s * self.ticks_alive as f64;
+        self.fold_products(dt_s);
+        // Play time == watched seconds (playback advances exactly while
+        // playing), so no separate accumulator is needed.
+        let play = self.watched_s.max(1e-9);
         SessionRecord {
             link: self.link,
             day: self.day,

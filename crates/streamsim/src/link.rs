@@ -23,6 +23,10 @@ pub struct FluidLink {
     loss: f64,
     /// Utilization in the last tick.
     utilization: f64,
+    /// Reusable sort permutation for [`FluidLink::allocate_into`].
+    /// Demands change slowly between ticks, so repairing last tick's
+    /// order is amortized O(n) instead of an O(n log n) sort.
+    order: Vec<usize>,
 }
 
 impl FluidLink {
@@ -35,6 +39,7 @@ impl FluidLink {
             queue_s: 0.0,
             loss: 0.0,
             utilization: 0.0,
+            order: Vec::new(),
         }
     }
 
@@ -68,10 +73,60 @@ impl FluidLink {
     /// `demands` are per-session desired rates (bits/s); the result is
     /// the per-session allocation under max–min fairness with demand
     /// caps. Queue and loss states advance as a side effect.
+    ///
+    /// Convenience wrapper over [`FluidLink::allocate_into`] that
+    /// allocates a fresh output vector.
     pub fn allocate(&mut self, demands: &[f64], dt_s: f64) -> Vec<f64> {
-        let total: f64 = demands.iter().sum();
-        let shares = max_min_share(demands, self.capacity_bps);
-        let served: f64 = shares.iter().sum();
+        let mut shares = Vec::with_capacity(demands.len());
+        self.allocate_into(demands, dt_s, &mut shares);
+        shares
+    }
+
+    /// [`FluidLink::allocate`] writing into a caller-provided buffer.
+    ///
+    /// Reuses the link's internal sort permutation between calls, so
+    /// steady-state ticks (stable population, slowly changing demands)
+    /// perform zero heap allocations and amortized O(n) work.
+    pub fn allocate_into(&mut self, demands: &[f64], dt_s: f64, out: &mut Vec<f64>) {
+        // The permutation is taken out of `self` for the duration of the
+        // call so `allocate_ordered` can borrow it alongside `&mut self`.
+        let mut order = std::mem::take(&mut self.order);
+        repair_order(&mut order, demands);
+        self.allocate_ordered(demands, &order, dt_s, out);
+        self.order = order;
+    }
+
+    /// [`FluidLink::allocate_into`] with a caller-maintained sort
+    /// permutation. `order` lists the sessions to water-fill, ascending
+    /// by demand; sessions *not* listed must have zero demand and
+    /// receive a zero share (water-filling zeros is a no-op, so callers
+    /// with on-off traffic can list only the active sessions). This is
+    /// the zero-allocation hot path used by `LinkSim`, whose client
+    /// indices shift on session exit in a way only the caller can remap.
+    pub fn allocate_ordered(
+        &mut self,
+        demands: &[f64],
+        order: &[usize],
+        dt_s: f64,
+        out: &mut Vec<f64>,
+    ) {
+        debug_check_demands(demands);
+        debug_assert!(
+            order.windows(2).all(|w| demands[w[0]] <= demands[w[1]]),
+            "order must sort demands ascending"
+        );
+        debug_assert!(
+            {
+                let mut listed = vec![false; demands.len()];
+                order.iter().for_each(|&i| listed[i] = true);
+                demands
+                    .iter()
+                    .zip(&listed)
+                    .all(|(&d, &in_order)| in_order || d == 0.0)
+            },
+            "sessions omitted from order must have zero demand"
+        );
+        let (total, served) = water_fill(demands, order, self.capacity_bps, out);
         self.utilization = served / self.capacity_bps;
 
         // Queue dynamics: unserved demand accumulates (TCP keeps pushing),
@@ -89,40 +144,102 @@ impl FluidLink {
         } else {
             0.0
         };
-        shares
     }
+}
+
+/// Demands must be finite and non-negative; checked at the API boundary
+/// in debug builds so NaNs fail fast instead of silently mis-sorting.
+#[inline]
+fn debug_check_demands(demands: &[f64]) {
+    debug_assert!(
+        demands.iter().all(|d| d.is_finite() && *d >= 0.0),
+        "demands must be finite and non-negative"
+    );
+}
+
+/// Restore the invariant that `order` is a permutation of
+/// `0..demands.len()` sorting `demands` ascending.
+///
+/// Uses a stable insertion sort, which is O(n + inversions): when the
+/// permutation is carried over from the previous tick (demands change
+/// slowly — arrivals are appended, a few sessions toggle between their
+/// access rate and idle) this is amortized O(n) instead of a full
+/// O(n log n) sort. If `order` has the wrong length (first call, or a
+/// caller that does not maintain it) it is reset to the identity first.
+pub fn repair_order(order: &mut Vec<usize>, demands: &[f64]) {
+    let n = demands.len();
+    if order.len() != n {
+        order.clear();
+        order.extend(0..n);
+    }
+    debug_assert!(
+        {
+            let mut seen = vec![false; n];
+            order
+                .iter()
+                .all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+        },
+        "order must be a permutation of 0..{n}"
+    );
+    for k in 1..n {
+        let idx = order[k];
+        let key = demands[idx];
+        let mut j = k;
+        while j > 0 && demands[order[j - 1]].total_cmp(&key).is_gt() {
+            order[j] = order[j - 1];
+            j -= 1;
+        }
+        order[j] = idx;
+    }
+}
+
+/// Water-filling kernel: visit the sessions listed in `order` (ascending
+/// by demand; unlisted sessions must demand zero and get zero); sessions
+/// demanding less than the running fair share keep their demand, the
+/// remainder is split evenly among the rest. Returns `(total demand,
+/// total served)`, accumulated in visit order, so callers need no extra
+/// reduction passes.
+fn water_fill(demands: &[f64], order: &[usize], capacity: f64, out: &mut Vec<f64>) -> (f64, f64) {
+    out.clear();
+    out.resize(demands.len(), 0.0);
+    let k = order.len();
+    let mut remaining = capacity;
+    let mut total = 0.0;
+    let mut served = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        let d = demands[i];
+        let fair = remaining / (k - rank) as f64;
+        if d <= fair {
+            out[i] = d;
+            remaining -= d;
+            total += d;
+            served += d;
+        } else {
+            // Everyone remaining demands more than the fair share.
+            for &j in &order[rank..] {
+                out[j] = fair;
+                total += demands[j];
+                served += fair;
+            }
+            break;
+        }
+    }
+    (total, served)
 }
 
 /// Max–min fair shares with per-session demand caps: sessions demanding
 /// less than the fair share keep their demand; the remainder is split among
 /// the rest (water-filling).
+///
+/// This is the allocating reference implementation; the hot path
+/// ([`FluidLink::allocate_into`] / [`FluidLink::allocate_ordered`]) is
+/// property-tested to be bit-identical to it.
 pub fn max_min_share(demands: &[f64], capacity: f64) -> Vec<f64> {
-    let n = demands.len();
-    let mut shares = vec![0.0; n];
-    if n == 0 {
-        return shares;
-    }
-    let mut remaining = capacity;
-    let mut unsatisfied: Vec<usize> = (0..n).collect();
-    // Water-filling: at most O(n log n) via sorting by demand.
-    unsatisfied.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("NaN demand"));
-    let mut idx = 0;
-    while idx < unsatisfied.len() {
-        let left = unsatisfied.len() - idx;
-        let fair = remaining / left as f64;
-        let i = unsatisfied[idx];
-        if demands[i] <= fair {
-            shares[i] = demands[i];
-            remaining -= demands[i];
-            idx += 1;
-        } else {
-            // Everyone remaining demands more than the fair share.
-            for &j in &unsatisfied[idx..] {
-                shares[j] = fair;
-            }
-            return shares;
-        }
-    }
+    debug_check_demands(demands);
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| demands[a].total_cmp(&demands[b]));
+    let mut shares = Vec::with_capacity(demands.len());
+    water_fill(demands, &order, capacity, &mut shares);
     shares
 }
 
@@ -206,5 +323,73 @@ mod tests {
         let shares = link.allocate(&[], 1.0);
         assert!(shares.is_empty());
         assert_eq!(link.utilization(), 0.0);
+    }
+
+    #[test]
+    fn repair_order_sorts_and_resets() {
+        let demands = [5.0, 1.0, 3.0, 3.0, 0.0];
+        // Wrong length: reset to identity, then sorted.
+        let mut order = vec![0, 1];
+        repair_order(&mut order, &demands);
+        assert_eq!(order, vec![4, 1, 2, 3, 0]); // stable on the 3.0 tie
+                                                // Already sorted: untouched.
+        let before = order.clone();
+        repair_order(&mut order, &demands);
+        assert_eq!(order, before);
+        // A single perturbed entry is re-inserted.
+        let demands = [5.0, 1.0, 3.0, 0.5, 0.0];
+        repair_order(&mut order, &demands);
+        assert_eq!(order, vec![4, 3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn allocate_into_reuses_buffers_and_matches_reference() {
+        let mut link = FluidLink::new(20.0, 0.02, 0.05);
+        let mut out = Vec::new();
+        // Population changes across calls: grow, shrink, mutate.
+        let sequences: [&[f64]; 5] = [
+            &[1.0, 10.0, 10.0],
+            &[1.0, 10.0, 10.0, 4.0],
+            &[12.0, 3.0],
+            &[],
+            &[7.0, 7.0, 7.0, 7.0, 7.0],
+        ];
+        for demands in sequences {
+            link.allocate_into(demands, 1.0, &mut out);
+            let reference = max_min_share(demands, 20.0);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out), bits(&reference), "demands {demands:?}");
+        }
+    }
+
+    #[test]
+    fn allocate_ordered_accepts_active_subset() {
+        // Idle (zero-demand) sessions may be omitted from the order —
+        // the LinkSim hot path lists only active sessions. Shares must
+        // be bit-identical to the full reference either way.
+        let demands = [0.0, 7.0, 0.0, 3.0, 9.0, 0.0];
+        let order = [3usize, 1, 4]; // actives ascending
+        let mut link = FluidLink::new(12.0, 0.02, 0.05);
+        let mut out = Vec::new();
+        link.allocate_ordered(&demands, &order, 1.0, &mut out);
+        let reference = max_min_share(&demands, 12.0);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out), bits(&reference));
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[3], 3.0);
+    }
+
+    #[test]
+    fn allocate_and_allocate_into_share_queue_dynamics() {
+        let mut a = FluidLink::new(100.0, 0.02, 0.05);
+        let mut b = FluidLink::new(100.0, 0.02, 0.05);
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            let shares = a.allocate(&[150.0, 20.0], 1.0);
+            b.allocate_into(&[150.0, 20.0], 1.0, &mut out);
+            assert_eq!(shares, out);
+            assert_eq!(a.rtt_s().to_bits(), b.rtt_s().to_bits());
+            assert_eq!(a.loss().to_bits(), b.loss().to_bits());
+        }
     }
 }

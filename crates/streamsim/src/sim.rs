@@ -28,6 +28,19 @@ pub struct HourlyLinkStats {
 }
 
 /// One streaming link plus its active session population.
+///
+/// The tick pipeline is allocation-free in steady state: all the `Vec`s
+/// below the session population are persistent scratch buffers, and the
+/// demand-sorted permutation the water-filling allocator consumes is
+/// maintained incrementally instead of re-sorted every tick. The key
+/// structural fact (see [`Client::demand`]) is that a session's demand
+/// is *two-valued*: its access-capped rate — constant for the session's
+/// lifetime — or zero while it idles on a full buffer. So `by_peak`
+/// keeps the client indices sorted by that static peak demand (binary
+/// insertion on arrival, order-preserving remap on exit), and each tick
+/// a single stable partition pass — idle sessions first, then the rest
+/// in `by_peak` order — yields a permutation that sorts the *current*
+/// demands, with zero comparisons of floats that didn't change.
 pub struct LinkSim {
     cfg: StreamConfig,
     link_id: LinkId,
@@ -38,6 +51,14 @@ pub struct LinkSim {
     clients: Vec<Client>,
     records: Vec<SessionRecord>,
     hourly: Vec<HourlyLinkStats>,
+    // Persistent hot-loop buffers (see struct docs).
+    demands: Vec<f64>,
+    shares: Vec<f64>,
+    peak_demand: Vec<f64>,
+    by_peak: Vec<usize>,
+    order: Vec<usize>,
+    finished: Vec<bool>,
+    remap: Vec<usize>,
     // Accumulators for the current hour.
     acc_util: f64,
     acc_rtt: f64,
@@ -69,6 +90,13 @@ impl LinkSim {
             clients: Vec::new(),
             records: Vec::new(),
             hourly: Vec::new(),
+            demands: Vec::new(),
+            shares: Vec::new(),
+            peak_demand: Vec::new(),
+            by_peak: Vec::new(),
+            order: Vec::new(),
+            finished: Vec::new(),
+            remap: Vec::new(),
             acc_util: 0.0,
             acc_rtt: 0.0,
             acc_conc: 0.0,
@@ -86,6 +114,28 @@ impl LinkSim {
         self.clients.len()
     }
 
+    /// Session records completed so far.
+    pub fn records(&self) -> &[SessionRecord] {
+        &self.records
+    }
+
+    /// Insert an already-constructed client into the active population.
+    /// Normal arrivals come from the demand process; this hook exists
+    /// for hand-built scenarios (tests, tooling).
+    pub fn inject(&mut self, client: Client) {
+        let idx = self.clients.len();
+        // Peak demand is the session's only non-zero demand value (it
+        // arrives in startup, so `demand` reports it directly).
+        let peak = client.demand(&self.cfg).rate_bps;
+        let pos = self
+            .by_peak
+            .partition_point(|&j| self.peak_demand[j] <= peak);
+        self.by_peak.insert(pos, idx);
+        self.peak_demand.push(peak);
+        self.demands.push(peak);
+        self.clients.push(client);
+    }
+
     /// Advance one tick.
     pub fn step(&mut self) {
         let dt = self.cfg.dt_s;
@@ -98,14 +148,14 @@ impl LinkSim {
         }
         self.current_hour = (day, hour);
 
-        // Arrivals.
+        // Arrivals: binary-inserted into the static peak-demand order.
         let n_arrivals = self.demand.arrivals(self.now_s, dt, &mut self.rng);
         let p = self.schedule.allocation(day);
         let share_now = self.link.capacity_bps() / (self.clients.len() as f64 + 1.0).max(1.0);
         for _ in 0..n_arrivals {
             let treated = self.rng.bernoulli(p);
             let child = self.rng.fork();
-            self.clients.push(Client::new(
+            let client = Client::new(
                 &self.cfg,
                 &self.ladder,
                 self.link_id,
@@ -116,38 +166,98 @@ impl LinkSim {
                 treated,
                 share_now.min(self.cfg.session_max_bps),
                 child,
-            ));
+            );
+            self.inject(client);
         }
 
-        // Bandwidth allocation.
-        let demands: Vec<f64> = self
-            .clients
-            .iter()
-            .map(|c| c.demand(&self.cfg).rate_bps)
-            .collect();
-        let shares = self.link.allocate(&demands, dt);
+        // Bandwidth allocation from the persistent buffers. `demands`
+        // was produced incrementally (updated in place by last tick's
+        // step pass, appended to by `inject`), and demands are
+        // two-valued (idle sessions ask for 0, the rest for their
+        // constant peak rate), so listing the *active* sessions in
+        // peak-sorted order — one filter pass over `by_peak` — yields an
+        // ascending order of the current demands without sorting: O(n)
+        // per tick, zero comparisons, zero heap allocations.
+        // Branchless compaction: idle-vs-active is effectively a coin
+        // flip per session, so a filter branch would mispredict heavily.
+        // `order` is a monotone scratch (never shrunk) so steady-state
+        // ticks skip even the resize memset.
+        if self.order.len() < self.by_peak.len() {
+            self.order.resize(self.by_peak.len(), 0);
+        }
+        let demands = &self.demands;
+        let mut active = 0usize;
+        for &i in &self.by_peak {
+            self.order[active] = i;
+            active += usize::from(demands[i] != 0.0);
+        }
+        self.link
+            .allocate_ordered(&self.demands, &self.order[..active], dt, &mut self.shares);
         let rtt = self.link.rtt_s();
         let loss = self.link.loss();
 
-        // Client progress; collect finished sessions.
-        let mut i = 0;
-        while i < self.clients.len() {
-            let done = self.clients[i].step(
+        // Client progress, two passes. Pass 1 steps every client with
+        // *its own* share (a finished session must not leak its share to
+        // the client that replaces it in the vector — the old single-pass
+        // swap_remove loop stepped the moved client with `shares[i]` of
+        // the finished one) and refreshes the client's demand for the
+        // next tick while its state is hot in cache.
+        self.finished.clear();
+        self.finished.resize(self.clients.len(), false);
+        let now_next = self.now_s + dt;
+        let mut any_finished = false;
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            let done = client.step(
                 &self.cfg,
                 &self.ladder,
-                shares[i],
+                self.shares[i],
                 rtt,
                 loss,
-                self.now_s + dt,
+                now_next,
                 dt,
             );
             if let Some(rec) = done {
                 self.records.push(rec);
-                self.clients.swap_remove(i);
-                // swap_remove moved the last share too — but shares were
-                // consumed this tick already, so just continue.
+                self.finished[i] = true;
+                any_finished = true;
             } else {
-                i += 1;
+                self.demands[i] = client.demand(&self.cfg).rate_bps;
+            }
+        }
+
+        // Pass 2: compact survivors (order-preserving) and remap the
+        // peak-demand permutation so it stays valid — and still sorted —
+        // for the next tick.
+        if any_finished {
+            self.remap.clear();
+            let mut kept = 0usize;
+            for &done in &self.finished {
+                self.remap.push(kept);
+                kept += usize::from(!done);
+            }
+            let finished = &self.finished;
+            let mut idx = 0;
+            self.clients.retain(|_| {
+                let keep = !finished[idx];
+                idx += 1;
+                keep
+            });
+            idx = 0;
+            self.peak_demand.retain(|_| {
+                let keep = !finished[idx];
+                idx += 1;
+                keep
+            });
+            idx = 0;
+            self.demands.retain(|_| {
+                let keep = !finished[idx];
+                idx += 1;
+                keep
+            });
+            self.by_peak.retain(|&i| !finished[i]);
+            let remap = &self.remap;
+            for o in &mut self.by_peak {
+                *o = remap[*o];
             }
         }
 
@@ -348,7 +458,7 @@ mod tests {
         let paired = PairedSim::with_paper_biases(
             cfg,
             [AllocationSchedule::none(), AllocationSchedule::none()],
-            7,
+            9,
         );
         let run = paired.run();
         let (l1, l2): (Vec<_>, Vec<_>) = run.sessions.iter().partition(|r| r.link == LinkId::One);
@@ -364,6 +474,83 @@ mod tests {
         let rb1: f64 = l1.iter().map(|r| r.rebuffer_indicator()).sum::<f64>() / l1.len() as f64;
         let rb2: f64 = l2.iter().map(|r| r.rebuffer_indicator()).sum::<f64>() / l2.len() as f64;
         assert!(rb1 > rb2, "rebuffer rates {rb1} vs {rb2}");
+    }
+
+    /// Regression test for the swap_remove share-misalignment bug: when
+    /// a short session finished mid-tick, the last client was moved into
+    /// its slot and stepped with the *finished* client's share. Survivor
+    /// outcomes must be independent of the order clients were inserted
+    /// in (the allocator is permutation-equivariant), so reversing the
+    /// insertion order is a permutation-independent oracle: per-session
+    /// records must be bit-identical either way.
+    #[test]
+    fn survivor_records_independent_of_insertion_order() {
+        // One short session with a *small* access line (so its share is
+        // strictly below the survivors') plus two long sessions with big
+        // access lines, no background arrivals, ample capacity.
+        let base = StreamConfig {
+            days: 1,
+            peak_arrivals_per_s: 1e-15, // effectively no Poisson arrivals
+            capacity_bps: 100e6,
+            access_sigma: 0.01,
+            ..Default::default()
+        };
+        let ladder = Ladder::new(base.ladder_bps.clone());
+        // `hour` doubles as a session id so records can be matched up.
+        let make = |id: usize, mean_watch_s: f64, access_bps: f64| {
+            let cfg = StreamConfig {
+                mean_watch_s,
+                access_median_bps: access_bps,
+                ..base.clone()
+            };
+            Client::new(
+                &cfg,
+                &ladder,
+                LinkId::One,
+                0,
+                id,
+                false,
+                0.0,
+                false,
+                access_bps,
+                SimRng::new(1000 + id as u64),
+            )
+        };
+        let run = |ids: &[usize]| {
+            let mut sim = LinkSim::new(base.clone(), LinkId::One, AllocationSchedule::none(), 77);
+            for &id in ids {
+                // id 0 is the short session on a slow line; the rest are
+                // long sessions on fast lines.
+                let (watch, access) = if id == 0 {
+                    (1.0, 1_200e3)
+                } else {
+                    (4000.0, 9e6)
+                };
+                sim.inject(make(id, watch, access));
+            }
+            for _ in 0..20_000 {
+                sim.step();
+            }
+            let mut recs = sim.records().to_vec();
+            assert_eq!(recs.len(), ids.len(), "all sessions should finish");
+            recs.sort_by_key(|r| r.hour);
+            recs
+        };
+        let forward = run(&[0, 1, 2]);
+        let reversed = run(&[2, 1, 0]);
+        for (f, r) in forward.iter().zip(&reversed) {
+            assert_eq!(f.hour, r.hour);
+            assert_eq!(
+                f.bytes.to_bits(),
+                r.bytes.to_bits(),
+                "session {} bytes {} vs {}",
+                f.hour,
+                f.bytes,
+                r.bytes
+            );
+            assert_eq!(f.throughput_bps.to_bits(), r.throughput_bps.to_bits());
+            assert_eq!(f.duration_s.to_bits(), r.duration_s.to_bits());
+        }
     }
 
     #[test]
