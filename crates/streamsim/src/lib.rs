@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod abr;
+pub mod arena;
 pub mod client;
 pub mod config;
 pub mod demand;
@@ -38,6 +39,7 @@ pub mod scenario;
 pub mod session;
 pub mod sim;
 
+pub use arena::ClientArena;
 pub use config::StreamConfig;
 pub use scenario::AllocationSchedule;
 pub use session::SessionRecord;

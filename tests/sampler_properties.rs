@@ -1,0 +1,120 @@
+//! Distributional agreement between the ziggurat `standard_normal`
+//! (the hot-path sampler) and the retained Box–Muller reference: both
+//! must draw from the same standard normal, checked on moments, tail
+//! mass, and a two-sample Kolmogorov–Smirnov statistic over random
+//! seeds. The ziggurat accept/reject structure makes its draw sequence
+//! differ from Box–Muller's by construction, so the comparison is
+//! distributional, not bitwise.
+
+use dessim::SimRng;
+use proptest::prelude::*;
+
+fn summarize(xs: &[f64]) -> (f64, f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let skew = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n / var.powf(1.5);
+    let kurt = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n / (var * var);
+    (mean, var, skew, kurt)
+}
+
+/// Two-sample KS statistic (both samples sorted in place).
+fn ks_statistic(a: &mut [f64], b: &mut [f64]) -> f64 {
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        let fa = i as f64 / a.len() as f64;
+        let fb = j as f64 / b.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Mean/variance/skewness/kurtosis of the ziggurat sampler match
+    /// the Box–Muller reference (and the theoretical 0/1/0/3) across
+    /// seeds.
+    #[test]
+    fn ziggurat_moments_match_reference(seed in 0u64..1_000_000) {
+        let n = 120_000;
+        let mut zig = SimRng::new(seed);
+        let mut reference = SimRng::new(seed.wrapping_add(0x9E37_79B9));
+        let zs: Vec<f64> = (0..n).map(|_| zig.standard_normal()).collect();
+        let bs: Vec<f64> = (0..n).map(|_| reference.standard_normal_boxmuller()).collect();
+        let (zm, zv, zs3, zk) = summarize(&zs);
+        let (bm, bv, _, _) = summarize(&bs);
+        prop_assert!(zm.abs() < 0.02, "ziggurat mean {zm}");
+        prop_assert!((zv - 1.0).abs() < 0.03, "ziggurat var {zv}");
+        prop_assert!(zs3.abs() < 0.05, "ziggurat skew {zs3}");
+        prop_assert!((zk - 3.0).abs() < 0.15, "ziggurat kurtosis {zk}");
+        prop_assert!((zm - bm).abs() < 0.03, "means diverge: {zm} vs {bm}");
+        prop_assert!((zv - bv).abs() < 0.06, "variances diverge: {zv} vs {bv}");
+    }
+
+    /// Tail mass beyond 1σ/2σ/3σ matches the normal CDF for both
+    /// samplers — the ziggurat's rare tail path must contribute the
+    /// right probability, not just *some* extreme values.
+    #[test]
+    fn ziggurat_tail_mass_matches_reference(seed in 0u64..1_000_000) {
+        let n = 200_000usize;
+        let mut zig = SimRng::new(seed);
+        let mut reference = SimRng::new(seed.wrapping_add(1));
+        let tail_frac = |xs: &[f64], t: f64| {
+            xs.iter().filter(|x| x.abs() > t).count() as f64 / xs.len() as f64
+        };
+        let zs: Vec<f64> = (0..n).map(|_| zig.standard_normal()).collect();
+        let bs: Vec<f64> = (0..n).map(|_| reference.standard_normal_boxmuller()).collect();
+        // Two-sided normal tail masses: 2(1 − Φ(t)).
+        for (t, expect, tol) in [
+            (1.0, 0.3173, 0.01),
+            (2.0, 0.0455, 0.004),
+            (3.0, 0.0027, 0.001),
+        ] {
+            let z = tail_frac(&zs, t);
+            let b = tail_frac(&bs, t);
+            prop_assert!((z - expect).abs() < tol, "zig tail(|x|>{t}) = {z}, expect {expect}");
+            prop_assert!((z - b).abs() < 2.0 * tol, "tails diverge at {t}: {z} vs {b}");
+        }
+    }
+
+    /// Two-sample KS test between ziggurat and Box–Muller draws: the
+    /// statistic must stay below the ~1e-3 significance threshold for
+    /// equal-size samples (c(α)·sqrt(2/n) with c ≈ 1.95).
+    #[test]
+    fn ziggurat_ks_against_reference(seed in 0u64..1_000_000) {
+        let n = 100_000usize;
+        let mut zig = SimRng::new(seed);
+        let mut reference = SimRng::new(seed.wrapping_add(7));
+        let mut zs: Vec<f64> = (0..n).map(|_| zig.standard_normal()).collect();
+        let mut bs: Vec<f64> = (0..n).map(|_| reference.standard_normal_boxmuller()).collect();
+        let d = ks_statistic(&mut zs, &mut bs);
+        let threshold = 1.95 * (2.0 / n as f64).sqrt();
+        prop_assert!(d < threshold, "KS statistic {d} >= {threshold}");
+    }
+
+    /// `normal`/`lognormal` route through the ziggurat and keep their
+    /// parameterization: mean-one lognormal noise must stay mean-one
+    /// (the simulator's volatility-without-bias invariant).
+    #[test]
+    fn lognormal_noise_stays_mean_one(seed in 0u64..1_000_000, sigma in 0.05f64..0.8) {
+        let n = 150_000;
+        let mut rng = SimRng::new(seed);
+        let mean = (0..n)
+            .map(|_| rng.lognormal(-0.5 * sigma * sigma, sigma))
+            .sum::<f64>() / n as f64;
+        // Lognormal sample means converge slowly for large sigma; the
+        // tolerance scales with the distribution's own sd.
+        let sd = ((sigma * sigma).exp() - 1.0).sqrt();
+        prop_assert!((mean - 1.0).abs() < 5.0 * sd / (n as f64).sqrt() + 0.01,
+            "lognormal mean {mean} (sigma {sigma})");
+    }
+}
