@@ -1,11 +1,10 @@
 //! §5.3 A/A calibration: run no-treatment weeks, apply switchback and
-//! event-study labelings, count false positives.
-//!
-//! Replicated across seeds via the parallel scenario runner so the
-//! false-positive *rates* (not one week's luck) are reported.
+//! event-study labelings, count false positives — replicated across
+//! seeds via the shared figure harness so the false-positive *rates*
+//! (not one week's luck) are reported.
 use causal::assignment::SwitchbackPlan;
-use streamsim::scenario::AllocationSchedule;
-use streamsim::sim::PairedSim;
+use repro_bench::figharness::{self as fh, FigureReport};
+use repro_bench::FigCell;
 use unbiased::dataset::Dataset;
 use unbiased::designs::aa_scan;
 
@@ -14,58 +13,60 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
-    let cfg = repro_bench::paired_config(0.35, 5);
+    let (runs, days) = fh::baseline_sweep(0.35, 5, 404, replications);
     let metrics = repro_bench::figure5_metrics();
-    let plan = SwitchbackPlan::alternating(5, true);
+    let plan = SwitchbackPlan::alternating(days, true);
+    let switch_day = 2.min(days - 1);
 
-    let runs = repro_bench::Runner::new().sweep_root(&cfg, 404, replications, |cfg, seed| {
-        let run = PairedSim::with_paper_biases(
-            cfg.clone(),
-            [AllocationSchedule::none(), AllocationSchedule::none()],
-            seed,
-        )
-        .run();
-        let data = Dataset::new(run.sessions);
-        let scan = aa_scan(&data, &plan, 2, &metrics);
-        (scan, data.len())
-    });
-
-    println!(
-        "A/A calibration over {} metrics, {} replications:\n",
-        metrics.len(),
-        runs.len()
-    );
-    let mut sw_counts = vec![0usize; metrics.len()];
-    let mut ev_counts = vec![0usize; metrics.len()];
-    for r in &runs {
-        let (scan, sessions) = &r.result;
-        println!(
-            "seed {:>20x} ({sessions} sessions): switchback FPs {:?}, event-study FPs {:?}",
-            r.seed,
-            scan.switchback_false_positives
-                .iter()
-                .map(|m| m.name())
-                .collect::<Vec<_>>(),
-            scan.event_study_false_positives
-                .iter()
-                .map(|m| m.name())
-                .collect::<Vec<_>>()
-        );
-        for (i, m) in metrics.iter().enumerate() {
-            sw_counts[i] += scan.switchback_false_positives.contains(m) as usize;
-            ev_counts[i] += scan.event_study_false_positives.contains(m) as usize;
-        }
+    let scans: Vec<_> = runs
+        .into_iter()
+        .map(|r| {
+            let data = Dataset::new(r.result.0);
+            let sessions = data.len();
+            (aa_scan(&data, &plan, switch_day, &metrics), sessions)
+        })
+        .collect();
+    let sessions: usize = scans.iter().map(|(_, s)| s).sum::<usize>() / scans.len().max(1);
+    let mut rep = FigureReport::new(
+        "aa_calibration",
+        format!(
+            "A/A calibration over {} metrics (~{sessions} sessions per no-treatment week)",
+            metrics.len()
+        ),
+    )
+    .seeds(scans.len());
+    if scans.is_empty() {
+        rep.warn("0 replications requested; nothing to aggregate");
+        rep.emit();
+        return;
     }
-    println!("\nfalse-positive rate per metric (switchback | event study):");
-    for (i, m) in metrics.iter().enumerate() {
-        println!(
-            "  {:<24} {:>4.0}% | {:>4.0}%",
-            m.name(),
-            100.0 * sw_counts[i] as f64 / runs.len() as f64,
-            100.0 * ev_counts[i] as f64 / runs.len() as f64
-        );
-    }
-    println!(
-        "\n(paper: no switchback false positives; event studies false-positive on most metrics)"
+    let t = rep.add_table(
+        "false-positive rate per metric",
+        vec!["metric", "switchback", "event study"],
     );
+    for m in &metrics {
+        let sw = scans
+            .iter()
+            .filter(|(s, _)| s.switchback_false_positives.contains(m))
+            .count();
+        let ev = scans
+            .iter()
+            .filter(|(s, _)| s.event_study_false_positives.contains(m))
+            .count();
+        let rate = |k: usize| {
+            FigCell::value(
+                k as f64 / scans.len() as f64,
+                format!(
+                    "{:.0}% ({k}/{})",
+                    100.0 * k as f64 / scans.len() as f64,
+                    scans.len()
+                ),
+            )
+        };
+        rep.row(t, m.name(), vec![rate(sw), rate(ev)]);
+    }
+    rep.note(
+        "(paper: no switchback false positives; event studies false-positive on most metrics)",
+    );
+    rep.emit();
 }

@@ -1,0 +1,124 @@
+//! Bench-regression gate: compare a freshly generated bench report
+//! against the committed baseline and fail loudly on large slowdowns.
+//!
+//! Usage: `bench_regression_check <baseline.json> <current.json>
+//! [max_slowdown]`
+//!
+//! CI runs the quick-mode `bench_report` on a shared runner and checks
+//! it against the committed `BENCH_streamsim.json` (produced by a full
+//! run on a dedicated box). Shared-runner numbers are noisy, so the
+//! gate is deliberately generous: a scenario fails only when
+//! `current > baseline × max_slowdown` (default 2.5) **and** the
+//! absolute excess is > [`ABS_SLACK_S`] — sub-hundred-millisecond
+//! scenarios flap on scheduler noise alone. A scenario present in the
+//! baseline but missing from the current report also fails (a renamed
+//! or dropped bench must update the baseline deliberately).
+
+use std::process::ExitCode;
+
+use expstats::table::Table;
+use repro_bench::json::{self, Value};
+
+/// Absolute excess (seconds) a scenario must exceed, on top of the
+/// ratio, before it counts as a regression.
+const ABS_SLACK_S: f64 = 0.05;
+
+/// Scenarios whose *workload* changes under `STREAMSIM_BENCH_QUICK=1`
+/// (not just the sample count), making a quick-vs-full ratio
+/// meaningless. The sim scenarios run identical work in both modes.
+const QUICK_INCOMPARABLE: &[&str] = &["runner_overhead_sweep"];
+
+fn scenarios(v: &Value) -> Option<Vec<(String, f64)>> {
+    let obj = v.get("scenarios")?.as_obj()?;
+    let mut out = Vec::new();
+    for (name, s) in obj {
+        out.push((name.clone(), s.get("median_s")?.as_f64()?));
+    }
+    Some(out)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&raw).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (baseline_path, current_path, factor) = match args.as_slice() {
+        [_, b, c] => (b.clone(), c.clone(), 2.5),
+        [_, b, c, f] => match f.parse::<f64>() {
+            Ok(f) if f > 1.0 => (b.clone(), c.clone(), f),
+            _ => {
+                eprintln!("max_slowdown must be a number > 1.0");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: bench_regression_check <baseline.json> <current.json> [max_slowdown]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(base), Some(cur)) = (scenarios(&baseline), scenarios(&current)) else {
+        eprintln!(
+            "error: malformed bench report (want {{\"scenarios\": {{name: {{\"median_s\": …}}}}}})"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let quick_current = current.get("quick") == Some(&Value::Bool(true));
+    let mut t = Table::new(vec!["scenario", "baseline (s)", "current (s)", "ratio", ""]);
+    let mut regressions = 0usize;
+    for (name, base_s) in &base {
+        if quick_current && QUICK_INCOMPARABLE.contains(&name.as_str()) {
+            t.row(vec![
+                name.clone(),
+                format!("{base_s:.4}"),
+                "-".into(),
+                "-".into(),
+                "skipped (quick workload differs)".into(),
+            ]);
+            continue;
+        }
+        let Some((_, cur_s)) = cur.iter().find(|(n, _)| n == name) else {
+            eprintln!("error: scenario \"{name}\" missing from {current_path}");
+            regressions += 1;
+            continue;
+        };
+        let ratio = cur_s / base_s;
+        let regressed = ratio > factor && (cur_s - base_s) > ABS_SLACK_S;
+        regressions += regressed as usize;
+        t.row(vec![
+            name.clone(),
+            format!("{base_s:.4}"),
+            format!("{cur_s:.4}"),
+            format!("{ratio:.2}x"),
+            if regressed {
+                format!("REGRESSION (> {factor:.1}x)")
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    println!(
+        "bench regression gate: {} vs {} (fail above {factor:.1}x + {ABS_SLACK_S}s)\n",
+        baseline_path, current_path
+    );
+    println!("{}", t.render());
+    if regressions > 0 {
+        eprintln!("bench_regression_check: {regressions} scenario(s) regressed");
+        return ExitCode::FAILURE;
+    }
+    println!("no regressions");
+    ExitCode::SUCCESS
+}

@@ -23,7 +23,15 @@ fn quick() -> bool {
 }
 
 /// Time `f` `reps` times; returns (median seconds, sample count).
+///
+/// In quick mode a single timed sample would otherwise carry all the
+/// cold-start noise (first-touch page faults, cold caches) straight
+/// into the CI regression gate, so one untimed warmup runs first; full
+/// mode absorbs the cold first sample in the median of five instead.
 fn time_scenario(reps: usize, mut f: impl FnMut()) -> (f64, usize) {
+    if reps == 1 {
+        f();
+    }
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let start = Instant::now();
@@ -34,16 +42,7 @@ fn time_scenario(reps: usize, mut f: impl FnMut()) -> (f64, usize) {
     (median, samples.len())
 }
 
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
-}
+use repro_bench::figharness::git_rev;
 
 fn main() {
     let reps = if quick() { 1 } else { 5 };

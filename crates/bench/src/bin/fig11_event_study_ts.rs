@@ -1,14 +1,16 @@
 //! Figure 11: throughput time series of the emulated event study
-//! (95% capping deployed between Thursday and Friday).
+//! (95% capping deployed between Thursday and Friday) — per-hour
+//! cross-seed mean ± 95% half-width instead of one world's series.
+use repro_bench::figharness::{self as fh, FigureReport};
 use streamsim::session::{LinkId, Metric, SessionRecord};
 use unbiased::dataset::Dataset;
-use unbiased::report::render_time_series;
+use unbiased::designs::PairedOutcome;
 
-fn main() {
-    let out = repro_bench::main_experiment(0.35, 5, 202).run();
-    let switch_day = 2;
-    let mut series = Vec::new();
-    for day in 0..5 {
+/// One seed's event-study series: normalized hourly throughput on a
+/// fixed `days × 24` grid (missing hours stay NaN so seeds align).
+fn series(out: &PairedOutcome, days: usize, switch_day: usize) -> Vec<f64> {
+    let mut vals = vec![f64::NAN; days * 24];
+    for day in 0..days {
         let recs: Vec<&SessionRecord> = if day < switch_day {
             out.data
                 .filter(|r| r.link == LinkId::Two && !r.treated && r.day == day)
@@ -16,18 +18,33 @@ fn main() {
             out.data
                 .filter(|r| r.link == LinkId::One && r.treated && r.day == day)
         };
-        let cells = Dataset::hourly_means(&recs, Metric::Throughput);
-        for (_, h, v) in cells {
-            series.push((day * 24 + h, v));
+        for (_, h, v) in Dataset::hourly_means(&recs, Metric::Throughput) {
+            vals[day * 24 + h] = v;
         }
     }
-    let max = series.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
-    let vals: Vec<f64> = series.iter().map(|&(_, v)| v / max).collect();
-    println!(
-        "{}",
-        render_time_series(
-            "Figure 11: event study (uncapped Wed-Thu, 95% capped Fri-Sun), normalized hourly throughput",
-            &[("throughput".into(), vals)],
-        )
+    repro_bench::normalize_to_max(&vals)
+}
+
+fn main() {
+    let sweep = fh::paired_sweep(0.35, 5, 202, 8);
+    let switch_day = 2.min(sweep.days - 1);
+    let per_seed: Vec<Vec<f64>> = sweep
+        .runs
+        .iter()
+        .map(|r| series(&r.result, sweep.days, switch_day))
+        .collect();
+    let (means, half_widths) = fh::series_ci(&per_seed);
+    let mut rep = FigureReport::new(
+        "fig11",
+        format!(
+            "Figure 11: event study (uncapped before day {switch_day}, 95% capped from it), \
+             normalized hourly throughput"
+        ),
+    )
+    .seeds(sweep.replications());
+    rep.series_with_ci("throughput", means, half_widths);
+    rep.note(
+        "(paper: the deploy-day step is confounded with weekday demand, biasing the estimate)",
     );
+    rep.emit();
 }

@@ -1,18 +1,19 @@
 //! Figure 12: throughput time series of the emulated switchback
-//! (treatment on days 1, 3, 5), plus the regression estimate with its
+//! (treatment on alternating days), per-hour cross-seed mean ± 95%
+//! half-width, plus the regression estimate with its
 //! weekend-adjustment diagnostic.
 use causal::assignment::SwitchbackPlan;
-use expstats::table::{pct, pct_ci};
+use repro_bench::figharness::{self as fh, fmt_pct, FigCell, FigureReport};
+use repro_bench::SeedRun;
 use streamsim::session::{LinkId, Metric, SessionRecord};
 use unbiased::dataset::Dataset;
-use unbiased::designs::switchback_emulation;
-use unbiased::report::render_time_series;
+use unbiased::designs::{switchback_emulation, PairedOutcome};
 
-fn main() {
-    let out = repro_bench::main_experiment(0.35, 5, 202).run();
-    let plan = SwitchbackPlan::alternating(5, true);
-    let mut vals = Vec::new();
-    for day in 0..5 {
+/// One seed's switchback series: normalized hourly throughput of the
+/// active arm on a fixed `days × 24` grid.
+fn series(out: &PairedOutcome, plan: &SwitchbackPlan, days: usize) -> Vec<f64> {
+    let mut vals = vec![f64::NAN; days * 24];
+    for day in 0..days {
         let recs: Vec<&SessionRecord> = if plan.treated(day) {
             out.data
                 .filter(|r| r.link == LinkId::One && r.treated && r.day == day)
@@ -20,32 +21,59 @@ fn main() {
             out.data
                 .filter(|r| r.link == LinkId::Two && !r.treated && r.day == day)
         };
-        let cells = Dataset::hourly_means(&recs, Metric::Throughput);
-        for (_, _, v) in cells {
-            vals.push(v);
+        for (_, h, v) in Dataset::hourly_means(&recs, Metric::Throughput) {
+            vals[day * 24 + h] = v;
         }
     }
-    let max = vals.iter().cloned().fold(f64::MIN, f64::max);
-    let vals: Vec<f64> = vals.iter().map(|v| v / max).collect();
-    println!(
-        "{}",
-        render_time_series(
-            "Figure 12: switchback (95% capped on days 1,3,5), normalized hourly throughput",
-            &[("throughput".into(), vals)],
-        )
+    repro_bench::normalize_to_max(&vals)
+}
+
+fn main() {
+    let sweep = fh::paired_sweep(0.35, 5, 202, 6);
+    let plan = SwitchbackPlan::alternating(sweep.days, true);
+    let per_seed: Vec<Vec<f64>> = sweep
+        .runs
+        .iter()
+        .map(|r| series(&r.result, &plan, sweep.days))
+        .collect();
+    let (means, half_widths) = fh::series_ci(&per_seed);
+    let mut rep = FigureReport::new(
+        "fig12",
+        "Figure 12: switchback (95% capped on alternating days), normalized hourly throughput",
+    )
+    .seeds(sweep.replications());
+    rep.series_with_ci("throughput", means, half_widths);
+
+    // One regression per seed; the TTE cell and the weekend-dummy tally
+    // both read from it.
+    let estimates: Vec<SeedRun<Result<_, String>>> = sweep
+        .runs
+        .iter()
+        .map(|r| SeedRun {
+            seed: r.seed,
+            result: switchback_emulation(&r.result.data, &plan, Metric::Throughput)
+                .map_err(|e| e.to_string()),
+        })
+        .collect();
+    let ok_estimates = || estimates.iter().filter_map(|r| r.result.as_ref().ok());
+    let estimable = ok_estimates().count();
+    let adjusted = ok_estimates().filter(|e| e.weekend_adjusted).count();
+    let t = rep.add_table(
+        "switchback TTE (hourly regression)",
+        vec!["metric", "TTE", "weekend dummy included"],
     );
-    println!("(the day-to-day alternation hides the clean paired-link contrast — hence regression analysis)");
-    match switchback_emulation(&out.data, &plan, Metric::Throughput) {
-        Ok(e) => println!(
-            "switchback TTE (hourly regression): {} {}  [weekend dummy {}]",
-            pct(e.relative),
-            pct_ci(e.ci95),
-            if e.weekend_adjusted {
-                "included"
-            } else {
-                "dropped: degenerate or collinear with the arm"
-            }
-        ),
-        Err(err) => println!("switchback TTE unavailable: {err}"),
-    }
+    let tte = rep.estimator_cell(&estimates, "switchback TTE", fmt_pct, |e| {
+        e.as_ref().map(|e| e.relative).map_err(Clone::clone)
+    });
+    rep.row(
+        t,
+        "throughput",
+        vec![tte, FigCell::text(format!("{adjusted}/{estimable} seeds"))],
+    );
+    rep.note(
+        "(the day-to-day alternation hides the clean paired-link contrast — hence \
+         regression analysis; a dropped weekend dummy means it was degenerate or \
+         collinear with the arm)",
+    );
+    rep.emit();
 }

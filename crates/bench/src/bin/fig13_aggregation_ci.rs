@@ -1,30 +1,47 @@
 //! Figure 13: effect sizes and CIs under hourly vs session ("account")
-//! level aggregation.
-use expstats::table::{pct, pct_ci, Table};
-use streamsim::session::LinkId;
+//! level aggregation — cross-seed mean ± 95% CI per aggregation level.
+use repro_bench::figharness::{self as fh, fmt_pct, FigureReport};
+use streamsim::session::{LinkId, Metric, SessionRecord};
 use unbiased::analysis::{hourly_effect, unit_effect};
 use unbiased::dataset::Dataset;
+use unbiased::designs::PairedOutcome;
+
+/// One seed's TTE under the chosen aggregation.
+fn tte(out: &PairedOutcome, m: Metric, hourly: bool) -> Result<f64, String> {
+    let treated: Vec<&SessionRecord> = out.data.filter(|r| r.link == LinkId::One && r.treated);
+    let control: Vec<&SessionRecord> = out.data.filter(|r| r.link == LinkId::Two && !r.treated);
+    let base = Dataset::mean(&control, m);
+    let e = if hourly {
+        hourly_effect(m, &treated, &control, base)
+    } else {
+        unit_effect(m, &treated, &control, base)
+    };
+    e.map(|e| e.relative).map_err(|e| e.to_string())
+}
 
 fn main() {
-    let out = repro_bench::main_experiment(0.35, 5, 202).run();
-    println!("Figure 13: TTE by aggregation level (hour-level is the conservative default)\n");
-    let mut t = Table::new(vec!["metric", "hourly TTE [CI]", "session-level TTE [CI]"]);
+    let sweep = fh::paired_sweep(0.35, 5, 202, 8);
+    let mut rep = FigureReport::new(
+        "fig13",
+        "Figure 13: TTE by aggregation level (hour-level is the conservative default)",
+    )
+    .seeds(sweep.replications());
+    let t = rep.add_table("", vec!["metric", "hourly TTE", "session-level TTE"]);
     for m in repro_bench::figure5_metrics() {
-        let treated = out.data.filter(|r| r.link == LinkId::One && r.treated);
-        let control = out.data.filter(|r| r.link == LinkId::Two && !r.treated);
-        let base = Dataset::mean(&control, m);
-        let (Ok(h), Ok(u)) = (
-            hourly_effect(m, &treated, &control, base),
-            unit_effect(m, &treated, &control, base),
-        ) else {
-            continue;
-        };
-        t.row(vec![
-            m.name().to_string(),
-            format!("{} {}", pct(h.relative), pct_ci(h.ci95)),
-            format!("{} {}", pct(u.relative), pct_ci(u.ci95)),
-        ]);
+        let h = rep.estimator_cell(
+            &sweep.runs,
+            &format!("hourly/{}", m.name()),
+            fmt_pct,
+            |out| tte(out, m, true),
+        );
+        let u = rep.estimator_cell(
+            &sweep.runs,
+            &format!("session-level/{}", m.name()),
+            fmt_pct,
+            |out| tte(out, m, false),
+        );
+        rep.row(t, m.name(), vec![h, u]);
     }
-    println!("{}", t.render());
-    println!("(paper: hourly aggregation gives much wider, conservative intervals)");
+    rep.note("(paper: hourly aggregation gives much wider, conservative intervals)");
+    rep.emit();
 }

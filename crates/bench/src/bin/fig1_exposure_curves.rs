@@ -1,8 +1,10 @@
 //! Figure 1: allocation–response curves μ_T(p), μ_C(p) with and without
-//! congestion interference (closed-form models).
+//! congestion interference (closed-form models), through the shared
+//! figure harness (deterministic — no seed sweep to aggregate).
 use causal::exposure::{standard_grid, ExposureCurves};
 use causal::potential::{FairShare, NoInterference};
-use expstats::table::Table;
+use repro_bench::figharness::FigureReport;
+use repro_bench::FigCell;
 
 fn main() {
     let grid = standard_grid(11);
@@ -18,21 +20,34 @@ fn main() {
     };
     let a = ExposureCurves::sample(&no_interf, &grid, 50, 1);
     let b = ExposureCurves::sample(&fair, &grid, 50, 2);
-    println!("Figure 1: A/B tests with and without congestion interference\n");
-    let mut t = Table::new(vec!["p", "(a) mu_T", "(a) mu_C", "(b) mu_T", "(b) mu_C"]);
+    let mut rep = FigureReport::new(
+        "fig1",
+        "Figure 1: A/B tests with and without congestion interference",
+    );
+    let t = rep.add_table(
+        "",
+        vec!["p", "(a) mu_T", "(a) mu_C", "(b) mu_T", "(b) mu_C"],
+    );
     for (i, &p) in grid.iter().enumerate() {
-        t.row(vec![
+        let cell = |v: f64| FigCell::value(v, format!("{v:.3}"));
+        rep.row(
+            t,
             format!("{p:.1}"),
-            format!("{:.3}", a.mu_t[i]),
-            format!("{:.3}", a.mu_c[i]),
-            format!("{:.3}", b.mu_t[i]),
-            format!("{:.3}", b.mu_c[i]),
-        ]);
+            vec![
+                cell(a.mu_t[i]),
+                cell(a.mu_c[i]),
+                cell(b.mu_t[i]),
+                cell(b.mu_c[i]),
+            ],
+        );
     }
-    println!("{}", t.render());
-    println!("(a) no interference: ATE flat, TTE = {:.3}", a.tte());
-    println!(
+    rep.note(format!(
+        "(a) no interference: ATE flat, TTE = {:.3}",
+        a.tte()
+    ));
+    rep.note(format!(
         "(b) fair-share interference: ATE varies with p, TTE = {:.3}",
         b.tte()
-    );
+    ));
+    rep.emit();
 }

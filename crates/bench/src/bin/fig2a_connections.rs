@@ -3,14 +3,16 @@
 //! for throughput is ~0 while retransmissions worsen.
 //!
 //! The eleven k-scenarios are independent simulations, so they run
-//! through the parallel scenario runner.
-use expstats::table::{pct, Table};
+//! through the parallel scenario runner; output flows through the
+//! shared figure harness (one lab world per k — the cross-k contrast,
+//! not cross-seed variability, is this figure's point).
+use expstats::table::pct;
 use netsim::config::{AppConfig, CcKind};
 use netsim::run_dumbbell;
+use repro_bench::figharness::{self as fh, FigCell, FigureReport};
 use repro_bench::{lab_config, mixed_apps, Runner};
 
 fn main() {
-    println!("Figure 2a: 10 apps, k use two Reno connections, 200 Mb/s dumbbell\n");
     let ks: Vec<usize> = (0..=10).collect();
     let results = Runner::new().map(&ks, |&k| {
         let apps = mixed_apps(10, k, |treated| AppConfig {
@@ -19,72 +21,66 @@ fn main() {
             paced: false,
             pacing_ca_factor: 1.2,
         });
-        run_dumbbell(&lab_config(apps, 40 + k as u64)).unwrap()
+        let mut cfg = lab_config(apps, 40 + k as u64);
+        fh::quicken_lab(&mut cfg);
+        run_dumbbell(&cfg).unwrap()
     });
 
-    let mut t = Table::new(vec![
-        "k treated",
-        "tput 2-conn (M)",
-        "tput 1-conn (M)",
-        "A/B contrast",
-        "retx 2c",
-        "retx 1c",
-    ]);
-    let mut tput_all_control = 0.0;
-    let mut tput_all_treated = 0.0;
+    let mut rep = FigureReport::new(
+        "fig2a",
+        "Figure 2a: 10 apps, k use two Reno connections, 200 Mb/s dumbbell",
+    );
+    let t = rep.add_table(
+        "",
+        vec![
+            "k treated",
+            "tput 2-conn (M)",
+            "tput 1-conn (M)",
+            "A/B contrast",
+            "retx 2c",
+            "retx 1c",
+        ],
+    );
+    let mut tput_ends = (0.0, 0.0);
     let mut retx_ends = (0.0, 0.0);
     for (&k, res) in ks.iter().zip(&results) {
-        let treat: Vec<_> = res.apps[..k].iter().collect();
-        let ctrl: Vec<_> = res.apps[k..].iter().collect();
-        let mt = if k > 0 {
-            treat.iter().map(|a| a.throughput_bps).sum::<f64>() / k as f64
-        } else {
-            f64::NAN
-        };
-        let mc = if k < 10 {
-            ctrl.iter().map(|a| a.throughput_bps).sum::<f64>() / (10 - k) as f64
-        } else {
-            f64::NAN
-        };
-        let rt = if k > 0 {
-            treat.iter().map(|a| a.retx_fraction).sum::<f64>() / k as f64
-        } else {
-            f64::NAN
-        };
-        let rc = if k < 10 {
-            ctrl.iter().map(|a| a.retx_fraction).sum::<f64>() / (10 - k) as f64
-        } else {
-            f64::NAN
-        };
+        let mt = repro_bench::app_mean(&res.apps[..k], |a| a.throughput_bps);
+        let mc = repro_bench::app_mean(&res.apps[k..], |a| a.throughput_bps);
+        let rt = repro_bench::app_mean(&res.apps[..k], |a| a.retx_fraction);
+        let rc = repro_bench::app_mean(&res.apps[k..], |a| a.retx_fraction);
         if k == 0 {
-            tput_all_control = mc;
+            tput_ends.0 = mc;
             retx_ends.0 = rc;
         }
         if k == 10 {
-            tput_all_treated = mt;
+            tput_ends.1 = mt;
             retx_ends.1 = rt;
         }
-        t.row(vec![
+        let contrast = if mt.is_finite() && mc.is_finite() {
+            FigCell::value(mt / mc - 1.0, pct(mt / mc - 1.0))
+        } else {
+            FigCell::missing()
+        };
+        rep.row(
+            t,
             format!("{k}"),
-            format!("{:.1}", mt / 1e6),
-            format!("{:.1}", mc / 1e6),
-            if mt.is_finite() && mc.is_finite() {
-                pct(mt / mc - 1.0)
-            } else {
-                "-".into()
-            },
-            format!("{rt:.4}"),
-            format!("{rc:.4}"),
-        ]);
+            vec![
+                FigCell::value(mt, format!("{:.1}", mt / 1e6)),
+                FigCell::value(mc, format!("{:.1}", mc / 1e6)),
+                contrast,
+                FigCell::value(rt, format!("{rt:.4}")),
+                FigCell::value(rc, format!("{rc:.4}")),
+            ],
+        );
     }
-    println!("{}", t.render());
-    println!(
-        "TTE(throughput)  = {}",
-        pct(tput_all_treated / tput_all_control - 1.0)
+    let t2 = rep.add_table(
+        "total treatment effects (k=10 vs k=0)",
+        vec!["metric", "TTE"],
     );
-    println!(
-        "TTE(retransmits) = {}",
-        pct(retx_ends.1 / retx_ends.0 - 1.0)
-    );
-    println!("(paper: A/B says +100% tput at every k; TTE tput = 0, retx rise sharply)");
+    let tte_t = tput_ends.1 / tput_ends.0 - 1.0;
+    let tte_r = retx_ends.1 / retx_ends.0 - 1.0;
+    rep.row(t2, "throughput", vec![FigCell::value(tte_t, pct(tte_t))]);
+    rep.row(t2, "retransmits", vec![FigCell::value(tte_r, pct(tte_r))]);
+    rep.note("(paper: A/B says +100% tput at every k; TTE tput = 0, retx rise sharply)");
+    rep.emit();
 }

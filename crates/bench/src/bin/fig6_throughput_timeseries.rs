@@ -1,13 +1,9 @@
 //! Figure 6: hourly client throughput, baseline Saturday vs experiment
-//! Saturday, normalized to the largest hourly average — aggregated
-//! across replication seeds (per-hour mean with a ± 95% half-width
-//! column), so the series report cross-seed variability.
-use expstats::mean_ci;
-use repro_bench::{derive_seeds, Runner};
-use streamsim::scenario::AllocationSchedule;
+//! Saturday, normalized to the largest hourly average — per-hour
+//! cross-seed mean ± 95% half-width through the shared figure harness.
+use repro_bench::figharness::{self as fh, FigureReport};
 use streamsim::session::{LinkId, Metric};
 use unbiased::dataset::Dataset;
-use unbiased::report::render_time_series;
 
 const REPLICATIONS: usize = 6;
 
@@ -25,99 +21,47 @@ fn series(data: &Dataset, link: LinkId, day: usize) -> Vec<f64> {
     repro_bench::normalize_to_max(&raw)
 }
 
-/// Per-hour cross-seed mean and 95% CI half-width.
-fn aggregate(per_seed: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
-    let mut means = Vec::with_capacity(24);
-    let mut widths = Vec::with_capacity(24);
-    for h in 0..24 {
-        let vals: Vec<f64> = per_seed
-            .iter()
-            .map(|s| s[h])
-            .filter(|v| v.is_finite())
-            .collect();
-        match mean_ci(&vals, 0.95) {
-            Ok(d) => {
-                means.push(d.estimate);
-                widths.push((d.ci.1 - d.ci.0) / 2.0);
-            }
-            Err(_) => {
-                means.push(f64::NAN);
-                widths.push(f64::NAN);
-            }
-        }
-    }
-    (means, widths)
-}
-
 fn main() {
-    // Saturday is day 3 of the Wednesday-aligned week.
-    let day = 3;
-    let cfg = repro_bench::paired_config(0.35, 4);
-    let runner = Runner::new();
-
-    // One Dataset per replication; `series` borrows instead of cloning.
-    let baseline: Vec<Dataset> = runner
-        .sweep_paired_baseline(
-            &cfg,
-            &[AllocationSchedule::none(), AllocationSchedule::none()],
-            &derive_seeds(301, REPLICATIONS),
-        )
+    // Saturday is day 3 of the Wednesday-aligned week; quick mode
+    // shortens the horizon, so plot the last simulated day instead.
+    let days = fh::stream_days(4);
+    let day = days - 1;
+    let (baseline, _) = fh::baseline_sweep(0.35, 4, 301, REPLICATIONS);
+    let baseline: Vec<Dataset> = baseline
         .into_iter()
         .map(|r| Dataset::new(r.result.0))
         .collect();
-    let design = repro_bench::main_experiment(0.35, 4, 302);
-    let experiment = runner.sweep_paired(&design, &derive_seeds(302, REPLICATIONS));
+    let experiment = fh::paired_sweep(0.35, 4, 302, REPLICATIONS);
 
-    let base_series = |link| {
-        aggregate(
-            &baseline
-                .iter()
-                .map(|d| series(d, link, day))
-                .collect::<Vec<_>>(),
-        )
-    };
-    let exp_series = |link| {
-        aggregate(
-            &experiment
-                .iter()
-                .map(|r| series(&r.result.data, link, day))
-                .collect::<Vec<_>>(),
-        )
-    };
+    let mut rep = FigureReport::new(
+        "fig6",
+        format!(
+            "Figure 6: normalized hourly throughput on day {day} — baseline (6a) \
+             vs experiment, link1 95% capped / link2 5% (6b)"
+        ),
+    )
+    .seeds(experiment.replications());
 
-    let (b1, b1w) = base_series(LinkId::One);
-    let (b2, b2w) = base_series(LinkId::Two);
-    println!(
-        "{}",
-        render_time_series(
-            &format!(
-                "Figure 6a: baseline Saturday (normalized hourly throughput, \
-                 mean ± 95% half-width over {REPLICATIONS} seeds)"
-            ),
-            &[
-                ("link1".into(), b1),
-                ("±".into(), b1w),
-                ("link2".into(), b2),
-                ("±".into(), b2w),
-            ],
-        )
-    );
-    let (e1, e1w) = exp_series(LinkId::One);
-    let (e2, e2w) = exp_series(LinkId::Two);
-    println!(
-        "{}",
-        render_time_series(
-            &format!(
-                "Figure 6b: experiment Saturday (link1 95% capped, link2 5%; \
-                 mean ± 95% half-width over {REPLICATIONS} seeds)"
-            ),
-            &[
-                ("link1(95%)".into(), e1),
-                ("±".into(), e1w),
-                ("link2(5%)".into(), e2),
-                ("±".into(), e2w),
-            ],
-        )
-    );
-    println!("(paper: during peak hours the mostly-capped link keeps higher throughput)");
+    for (label, link) in [
+        ("6a base link1", LinkId::One),
+        ("6a base link2", LinkId::Two),
+    ] {
+        let per_seed: Vec<Vec<f64>> = baseline.iter().map(|d| series(d, link, day)).collect();
+        let (means, hw) = fh::series_ci(&per_seed);
+        rep.series_with_ci(label, means, hw);
+    }
+    for (label, link) in [
+        ("6b link1(95%)", LinkId::One),
+        ("6b link2(5%)", LinkId::Two),
+    ] {
+        let per_seed: Vec<Vec<f64>> = experiment
+            .runs
+            .iter()
+            .map(|r| series(&r.result.data, link, day))
+            .collect();
+        let (means, hw) = fh::series_ci(&per_seed);
+        rep.series_with_ci(label, means, hw);
+    }
+    rep.note("(paper: during peak hours the mostly-capped link keeps higher throughput)");
+    rep.emit();
 }

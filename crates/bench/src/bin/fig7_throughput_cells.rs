@@ -1,8 +1,7 @@
 //! Figure 7: the four throughput cell means with estimands annotated —
-//! aggregated across replication seeds (mean ± 95% CI), so each cell and
-//! contrast reports cross-seed variability.
-use expstats::table::{pct, pct_ci, Table};
-use repro_bench::{derive_seeds, metric_ci, Runner, SeedRun};
+//! cross-seed mean ± 95% CI per cell and per contrast through the
+//! shared figure harness.
+use repro_bench::figharness::{self as fh, fmt_pct, fmt_scaled, FigureReport};
 use streamsim::session::{LinkId, Metric};
 use unbiased::dataset::Dataset;
 use unbiased::designs::PairedOutcome;
@@ -10,57 +9,50 @@ use unbiased::designs::PairedOutcome;
 const REPLICATIONS: usize = 8;
 
 fn main() {
-    let design = repro_bench::main_experiment(0.35, 5, 202);
-    let runs: Vec<SeedRun<PairedOutcome>> =
-        Runner::new().sweep_paired(&design, &derive_seeds(202, REPLICATIONS));
-    let m = Metric::Throughput;
-    let cell_of = |out: &PairedOutcome, l, t| Dataset::mean(&out.data.cell(l, t), m);
+    let sweep = fh::paired_sweep(0.35, 5, 202, REPLICATIONS);
 
-    let cell_ci = |l, t| metric_ci(&runs, 0.95, |out| cell_of(out, l, t)).unwrap();
-    let contrast_ci = |f: &dyn Fn(&PairedOutcome) -> f64| metric_ci(&runs, 0.95, f).unwrap();
+    let mut rep = FigureReport::new("fig7", "Figure 7: average throughput per cell (Mb/s)")
+        .seeds(sweep.replications());
+    let t = rep.add_table("", vec!["cell", "capped (T)", "uncapped (C)"]);
+    let mbs = fmt_scaled(1e-6, 2);
+    for (label, link) in [
+        ("link 1 (95% capped)", LinkId::One),
+        ("link 2 (5% capped)", LinkId::Two),
+    ] {
+        let capped = rep.metric_cell(&sweep.runs, &format!("{label}/T"), &mbs, |out| {
+            cell_of(out, link, true)
+        });
+        let uncapped = rep.metric_cell(&sweep.runs, &format!("{label}/C"), &mbs, |out| {
+            cell_of(out, link, false)
+        });
+        rep.row(t, label, vec![capped, uncapped]);
+    }
 
-    println!(
-        "Figure 7: average throughput per cell (Mb/s, mean ± 95% CI over {REPLICATIONS} seeds)\n"
-    );
-    let mbs = |c: &repro_bench::SeedCi| {
-        format!(
-            "{:.2} ({:.2}..{:.2})",
-            c.mean / 1e6,
-            c.ci.0 / 1e6,
-            c.ci.1 / 1e6
-        )
-    };
-    let (t1, c1) = (cell_ci(LinkId::One, true), cell_ci(LinkId::One, false));
-    let (t2, c2) = (cell_ci(LinkId::Two, true), cell_ci(LinkId::Two, false));
-    let mut t = Table::new(vec!["cell", "capped (T)", "uncapped (C)"]);
-    t.row(vec!["link 1 (95% capped)".to_string(), mbs(&t1), mbs(&c1)]);
-    t.row(vec!["link 2 (5% capped)".to_string(), mbs(&t2), mbs(&c2)]);
-    println!("{}", t.render());
+    let t2 = rep.add_table("estimands (cell ratios)", vec!["estimand", "effect"]);
+    type Contrast = fn(&PairedOutcome) -> f64;
+    let contrasts: [(&str, Contrast); 4] = [
+        ("tau(0.95) = T1/C1 - 1", |out| {
+            cell_of(out, LinkId::One, true) / cell_of(out, LinkId::One, false) - 1.0
+        }),
+        ("tau(0.05) = T2/C2 - 1", |out| {
+            cell_of(out, LinkId::Two, true) / cell_of(out, LinkId::Two, false) - 1.0
+        }),
+        ("TTE ~ T1/C2 - 1", |out| {
+            cell_of(out, LinkId::One, true) / cell_of(out, LinkId::Two, false) - 1.0
+        }),
+        ("spillover ~ C1/C2 - 1", |out| {
+            cell_of(out, LinkId::One, false) / cell_of(out, LinkId::Two, false) - 1.0
+        }),
+    ];
+    for (label, f) in contrasts {
+        let cell = rep.metric_cell(&sweep.runs, label, fmt_pct, f);
+        rep.row(t2, label, vec![cell]);
+    }
+    rep.note("(paper: both A/B contrasts ~ -5%, TTE +12%, spillover +16%)");
+    rep.emit();
+}
 
-    let ratio = |num: &dyn Fn(&PairedOutcome) -> f64, den: &dyn Fn(&PairedOutcome) -> f64| {
-        contrast_ci(&|out: &PairedOutcome| num(out) / den(out) - 1.0)
-    };
-    let t1f = |out: &PairedOutcome| cell_of(out, LinkId::One, true);
-    let c1f = |out: &PairedOutcome| cell_of(out, LinkId::One, false);
-    let t2f = |out: &PairedOutcome| cell_of(out, LinkId::Two, true);
-    let c2f = |out: &PairedOutcome| cell_of(out, LinkId::Two, false);
-    let tau_hi = ratio(&t1f, &c1f);
-    let tau_lo = ratio(&t2f, &c2f);
-    let tte = ratio(&t1f, &c2f);
-    let spill = ratio(&c1f, &c2f);
-    println!(
-        "tau(0.95) = {} {}   tau(0.05) = {} {}",
-        pct(tau_hi.mean),
-        pct_ci(tau_hi.ci),
-        pct(tau_lo.mean),
-        pct_ci(tau_lo.ci)
-    );
-    println!(
-        "TTE ~ {} {}   spillover ~ {} {}",
-        pct(tte.mean),
-        pct_ci(tte.ci),
-        pct(spill.mean),
-        pct_ci(spill.ci)
-    );
-    println!("(paper: both A/B contrasts ~ -5%, TTE +12%, spillover +16%)");
+/// Mean throughput of one (link, arm) cell.
+fn cell_of(out: &PairedOutcome, l: LinkId, t: bool) -> f64 {
+    Dataset::mean(&out.data.cell(l, t), Metric::Throughput)
 }

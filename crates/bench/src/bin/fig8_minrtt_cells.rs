@@ -1,8 +1,7 @@
 //! Figure 8: minimum-RTT cell means, normalized to the smallest cell —
-//! aggregated across replication seeds (mean ± 95% CI), so each cell
-//! reports cross-seed variability instead of one world.
-use expstats::table::Table;
-use repro_bench::{derive_seeds, metric_ci, Runner, SeedCi, SeedRun};
+//! cross-seed mean ± 95% CI per cell through the shared figure harness.
+use repro_bench::figharness::{self as fh, fmt_scaled, FigCell, FigureReport};
+use repro_bench::metric_ci;
 use streamsim::session::{LinkId, Metric};
 use unbiased::dataset::Dataset;
 use unbiased::designs::PairedOutcome;
@@ -10,16 +9,14 @@ use unbiased::designs::PairedOutcome;
 const REPLICATIONS: usize = 8;
 
 fn main() {
-    let design = repro_bench::main_experiment(0.35, 5, 202);
-    let runs: Vec<SeedRun<PairedOutcome>> =
-        Runner::new().sweep_paired(&design, &derive_seeds(202, REPLICATIONS));
+    let sweep = fh::paired_sweep(0.35, 5, 202, REPLICATIONS);
     let m = Metric::MinRtt;
     let cell_of = |out: &PairedOutcome, l, t| Dataset::mean(&out.data.cell(l, t), m);
-    // A degenerate cell (too few finite replications) is skipped, like
-    // fig9's day parts, instead of panicking the whole figure.
-    let cell_ci = |l, t| metric_ci(&runs, 0.95, |out| cell_of(out, l, t)).ok();
+    // A degenerate cell (too few finite replications) renders as "-"
+    // with a warning instead of panicking the whole figure.
+    let cell_ci = |l, t| metric_ci(&sweep.runs, 0.95, |out| cell_of(out, l, t)).ok();
 
-    let cells: [(&str, Option<SeedCi>); 4] = [
+    let cells = [
         ("link1 capped (95%)", cell_ci(LinkId::One, true)),
         ("link1 uncapped (5%)", cell_ci(LinkId::One, false)),
         ("link2 capped (5%)", cell_ci(LinkId::Two, true)),
@@ -29,20 +26,26 @@ fn main() {
         .iter()
         .filter_map(|c| c.1.as_ref().map(|ci| ci.mean))
         .fold(f64::MAX, f64::min);
-    println!(
-        "Figure 8: mean of per-session minimum RTT, normalized to smallest cell \
-         (mean ± 95% CI over {REPLICATIONS} seeds)\n"
-    );
-    let mut t = Table::new(vec!["cell", "min RTT (ms)", "95% CI", "normalized"]);
+    let mut rep = FigureReport::new(
+        "fig8",
+        "Figure 8: mean of per-session minimum RTT, normalized to smallest cell",
+    )
+    .seeds(sweep.replications());
+    let t = rep.add_table("", vec!["cell", "min RTT (ms)", "normalized"]);
+    let ms = fmt_scaled(1e3, 2);
     for (name, c) in cells {
-        let Some(c) = c else { continue };
-        t.row(vec![
-            name.to_string(),
-            format!("{:.2}", c.mean * 1e3),
-            format!("{:.2}..{:.2}", c.ci.0 * 1e3, c.ci.1 * 1e3),
-            format!("{:.3}", c.mean / min),
-        ]);
+        match c {
+            Some(c) => {
+                let rtt = FigCell::ci(&c, ms(&c));
+                let norm = FigCell::value(c.mean / min, format!("{:.3}", c.mean / min));
+                rep.row(t, name, vec![rtt, norm]);
+            }
+            None => {
+                rep.warn(format!("{name}: too few finite replications for a CI"));
+                rep.row(t, name, vec![FigCell::missing(), FigCell::missing()]);
+            }
+        }
     }
-    println!("{}", t.render());
-    println!("(paper: both cells of the mostly-capped link sit near the base RTT)");
+    rep.note("(paper: both cells of the mostly-capped link sit near the base RTT)");
+    rep.emit();
 }

@@ -1,9 +1,7 @@
 //! Figure 9: % retransmitted bytes — TTE split into peak vs off-peak,
-//! aggregated across replication seeds (mean ± 95% CI of the per-seed
-//! relative effects), so each day-part contrast reports cross-seed
-//! variability instead of one world.
-use expstats::table::{pct, pct_ci, Table};
-use repro_bench::{derive_seeds, metric_ci, Runner, SeedRun};
+//! cross-seed mean ± 95% CI of the per-seed relative effects through
+//! the shared figure harness.
+use repro_bench::figharness::{self as fh, fmt_pct, FigureReport};
 use streamsim::session::{LinkId, Metric, SessionRecord};
 use unbiased::analysis::hourly_effect;
 use unbiased::dataset::Dataset;
@@ -12,9 +10,11 @@ use unbiased::designs::PairedOutcome;
 const REPLICATIONS: usize = 8;
 
 /// Per-seed relative TTE of the retransmitted-byte fraction restricted
-/// to the sessions selected by `in_part` (NaN when the effect is not
-/// estimable in that replication; `metric_ci` drops those seeds).
-fn part_effect(out: &PairedOutcome, in_part: &dyn Fn(&SessionRecord) -> bool) -> f64 {
+/// to the sessions selected by `in_part`.
+fn part_effect(
+    out: &PairedOutcome,
+    in_part: &dyn Fn(&SessionRecord) -> bool,
+) -> Result<f64, String> {
     let m = Metric::RetxFraction;
     let treated: Vec<&SessionRecord> = out
         .data
@@ -25,19 +25,18 @@ fn part_effect(out: &PairedOutcome, in_part: &dyn Fn(&SessionRecord) -> bool) ->
     let base = Dataset::mean(&control, m);
     hourly_effect(m, &treated, &control, base)
         .map(|e| e.relative)
-        .unwrap_or(f64::NAN)
+        .map_err(|e| e.to_string())
 }
 
 fn main() {
-    let design = repro_bench::main_experiment(0.35, 5, 202);
-    let runs: Vec<SeedRun<PairedOutcome>> =
-        Runner::new().sweep_paired(&design, &derive_seeds(202, REPLICATIONS));
+    let sweep = fh::paired_sweep(0.35, 5, 202, REPLICATIONS);
     let peak = |r: &SessionRecord| (17..23).contains(&r.hour);
-    println!(
-        "Figure 9: retransmitted-byte fraction, capping TTE by day part \
-         (mean ± 95% CI over {REPLICATIONS} seeds)\n"
-    );
-    let mut t = Table::new(vec!["hours", "TTE", "95% CI", "seeds"]);
+    let mut rep = FigureReport::new(
+        "fig9",
+        "Figure 9: retransmitted-byte fraction, capping TTE by day part",
+    )
+    .seeds(sweep.replications());
+    let t = rep.add_table("", vec!["hours", "TTE"]);
     for (label, in_part) in [
         (
             "all",
@@ -46,15 +45,11 @@ fn main() {
         ("peak (17-22h)", Box::new(peak)),
         ("off-peak", Box::new(move |r: &SessionRecord| !peak(r))),
     ] {
-        if let Ok(ci) = metric_ci(&runs, 0.95, |out| part_effect(out, in_part.as_ref())) {
-            t.row(vec![
-                label.to_string(),
-                pct(ci.mean),
-                pct_ci(ci.ci),
-                ci.n.to_string(),
-            ]);
-        }
+        let cell = rep.estimator_cell(&sweep.runs, label, fmt_pct, |out| {
+            part_effect(out, in_part.as_ref())
+        });
+        rep.row(t, label, vec![cell]);
     }
-    println!("{}", t.render());
-    println!("(paper: overall +10%, off-peak +16%, peak -20%; absolute retx fell everywhere)");
+    rep.note("(paper: overall +10%, off-peak +16%, peak -20%; absolute retx fell everywhere)");
+    rep.emit();
 }

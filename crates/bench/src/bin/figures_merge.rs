@@ -1,0 +1,113 @@
+//! Merge the per-figure JSON reports written under `FIG_JSON_DIR` into
+//! one `figures.json` document — the artifact the CI `figure-smoke` job
+//! uploads.
+//!
+//! Usage: `figures_merge <json-dir> <out.json>`
+//!
+//! Every figure binary in [`EXPECTED_FIGURES`] must have written a
+//! syntactically valid `<id>.json` whose `"id"` field matches its file
+//! stem; a missing, unparseable, or mislabeled report is a hard error
+//! (exit 1), so a figure that panics before emitting — or emits garbage
+//! — fails the build instead of silently thinning the artifact.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use repro_bench::figharness::git_rev;
+use repro_bench::json;
+
+/// Every figure/table binary that reports through the harness. Keep in
+/// sync with `src/bin/` (the `figure-smoke` CI job runs exactly this
+/// list; `bench_report`, `sweep_demo`, and the gate tools themselves
+/// are not figures).
+pub const EXPECTED_FIGURES: &[&str] = &[
+    "fig1",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablation_ack_aggregation",
+    "ablation_fig3_buffer",
+    "ablation_nw_lag",
+    "table_baseline_similarity",
+    "aa_calibration",
+    "quantile_effects",
+    "sec5_gradual_deployment",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, dir, out] = args.as_slice() else {
+        eprintln!("usage: figures_merge <json-dir> <out.json>");
+        return ExitCode::FAILURE;
+    };
+    let dir = Path::new(dir);
+    let mut failures = 0usize;
+    let mut merged = String::new();
+    merged.push_str("{\n");
+    merged.push_str(&format!(
+        "  \"git_rev\": \"{}\",\n",
+        json::escape(&git_rev())
+    ));
+    merged.push_str("  \"figures\": {\n");
+    for (i, id) in EXPECTED_FIGURES.iter().enumerate() {
+        let path = dir.join(format!("{id}.json"));
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {id}: missing report {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let parsed = match json::parse(&raw) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {id}: invalid JSON in {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        match parsed.get("id").and_then(json::Value::as_str) {
+            Some(got) if got == *id => {}
+            got => {
+                eprintln!("error: {id}: report carries id {got:?}, expected \"{id}\"");
+                failures += 1;
+                continue;
+            }
+        }
+        let comma = if i + 1 < EXPECTED_FIGURES.len() {
+            ","
+        } else {
+            ""
+        };
+        // Re-indent the (validated) raw document under its key.
+        let indented = raw.trim_end().replace('\n', "\n    ");
+        merged.push_str(&format!("    \"{id}\": {indented}{comma}\n"));
+    }
+    merged.push_str("  }\n}\n");
+    if failures > 0 {
+        eprintln!("figures_merge: {failures} figure report(s) missing or invalid");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = json::validate(&merged) {
+        // Can only happen if a per-figure document tricks the
+        // re-indentation; treat as a bug, not a figure failure.
+        eprintln!("figures_merge: merged document is invalid JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    std::fs::write(out, &merged).expect("write merged figures.json");
+    println!(
+        "figures_merge: merged {} figure reports into {out}",
+        EXPECTED_FIGURES.len()
+    );
+    ExitCode::SUCCESS
+}

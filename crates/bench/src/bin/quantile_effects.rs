@@ -1,34 +1,62 @@
 //! §2 "Note on averages": quantile treatment effects from the paired
-//! experiment — the median and tail analogues of Figure 5.
-use expstats::table::{pct, pct_ci, Table};
+//! experiment — the median and tail analogues of Figure 5, cross-seed
+//! mean ± 95% CI through the shared figure harness.
+use repro_bench::figharness::{self as fh, fmt_pct, FigureReport};
+use repro_bench::SeedRun;
 use streamsim::session::Metric;
-use unbiased::quantiles::paired_link_quantile_effects;
+use unbiased::quantiles::{paired_link_quantile_effects, QuantileEffects};
+
+const REPLICATIONS: usize = 6;
 
 fn main() {
-    let out = repro_bench::main_experiment(0.35, 5, 202).run();
-    println!("Quantile treatment effects ({} sessions)\n", out.data.len());
+    let sweep = fh::paired_sweep(0.35, 5, 202, REPLICATIONS);
+    let sessions: usize = sweep
+        .runs
+        .iter()
+        .map(|r| r.result.data.len())
+        .sum::<usize>()
+        / sweep.runs.len();
+    let mut rep = FigureReport::new(
+        "quantile_effects",
+        format!("Quantile treatment effects (~{sessions} sessions per replication)"),
+    )
+    .seeds(sweep.replications());
     for metric in [Metric::Throughput, Metric::MinRtt, Metric::PlayDelay] {
-        let mut t = Table::new(vec![
-            "quantile",
-            "naive 5%",
-            "naive 95%",
-            "TTE",
-            "spillover",
-        ]);
+        let t = rep.add_table(
+            &format!("{} quantile effects", metric.name()),
+            vec!["quantile", "naive 5%", "naive 95%", "TTE", "spillover"],
+        );
         for q in [0.5, 0.9, 0.99] {
-            match paired_link_quantile_effects(&out.data, metric, q, 99) {
-                Ok(e) => {
-                    t.row(vec![
-                        format!("p{:02.0}", q * 100.0),
-                        pct(e.naive_lo.relative),
-                        pct(e.naive_hi.relative),
-                        format!("{} {}", pct(e.tte.relative), pct_ci(e.tte.ci95)),
-                        pct(e.spillover.relative),
-                    ]);
-                }
-                Err(err) => eprintln!("{}: {err}", metric.name()),
-            }
+            // One bootstrap per (seed, metric, q); the four columns
+            // extract fields from it.
+            let effects: Vec<SeedRun<Result<QuantileEffects, String>>> = sweep
+                .runs
+                .iter()
+                .map(|r| SeedRun {
+                    seed: r.seed,
+                    result: paired_link_quantile_effects(&r.result.data, metric, q, 99)
+                        .map_err(|e| e.to_string()),
+                })
+                .collect();
+            let col = |rep: &mut FigureReport, what: &str, f: fn(&QuantileEffects) -> f64| {
+                rep.estimator_cell(
+                    &effects,
+                    &format!("{what}/{} p{:02.0}", metric.name(), q * 100.0),
+                    fmt_pct,
+                    move |e| e.as_ref().map(f).map_err(Clone::clone),
+                )
+            };
+            let naive_lo = col(&mut rep, "naive 5%", |e| e.naive_lo.relative);
+            let naive_hi = col(&mut rep, "naive 95%", |e| e.naive_hi.relative);
+            let tte = col(&mut rep, "TTE", |e| e.tte.relative);
+            let spill = col(&mut rep, "spillover", |e| e.spillover.relative);
+            rep.row(
+                t,
+                format!("p{:02.0}", q * 100.0),
+                vec![naive_lo, naive_hi, tte, spill],
+            );
         }
-        println!("{} quantile effects:\n{}", metric.name(), t.render());
     }
+    rep.note("(medians and tails can move differently from the mean under capping)");
+    rep.emit();
 }

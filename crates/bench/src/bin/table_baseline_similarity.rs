@@ -1,44 +1,65 @@
-//! §4.1 baseline-similarity check: a no-treatment week on both links.
-use expstats::table::{pct, Table};
-use streamsim::scenario::AllocationSchedule;
+//! §4.1 baseline-similarity check: no-treatment weeks on both links —
+//! link-1-vs-link-2 contrasts as cross-seed mean ± 95% CI, plus how
+//! often each contrast reads as significant across replications.
+use repro_bench::figharness::{self as fh, fmt_pct, FigCell, FigureReport};
+use repro_bench::SeedRun;
 use streamsim::session::LinkId;
-use streamsim::sim::PairedSim;
 use unbiased::analysis::unit_effect;
 use unbiased::dataset::Dataset;
 
 fn main() {
-    let cfg = repro_bench::paired_config(0.35, 5);
-    let paired = PairedSim::with_paper_biases(
-        cfg,
-        [AllocationSchedule::none(), AllocationSchedule::none()],
-        101,
-    );
-    let run = paired.run();
-    let data = Dataset::new(run.sessions);
-    let l1 = data.filter(|r| r.link == LinkId::One);
-    let l2 = data.filter(|r| r.link == LinkId::Two);
-    println!(
-        "Baseline week: {} sessions on link 1 ({:.1}%), {} on link 2\n",
-        l1.len(),
-        100.0 * l1.len() as f64 / data.len() as f64,
-        l2.len()
-    );
-    let mut t = Table::new(vec!["metric", "link1 vs link2", "95% CI", "significant"]);
+    let (runs, _days) = fh::baseline_sweep(0.35, 5, 101, 8);
+    // Convert each replication to a Dataset once; every metric's
+    // estimator borrows from these.
+    let runs: Vec<SeedRun<Dataset>> = runs
+        .into_iter()
+        .map(|r| SeedRun {
+            seed: r.seed,
+            result: Dataset::new(r.result.0),
+        })
+        .collect();
+    let sessions: usize = runs.iter().map(|r| r.result.len()).sum::<usize>() / runs.len();
+    let l1_share: f64 = runs
+        .iter()
+        .map(|r| r.result.filter(|s| s.link == LinkId::One).len() as f64 / r.result.len() as f64)
+        .sum::<f64>()
+        / runs.len() as f64;
+    let mut rep = FigureReport::new(
+        "table_baseline_similarity",
+        format!(
+            "Baseline week: ~{sessions} sessions per replication, {:.1}% on link 1",
+            100.0 * l1_share
+        ),
+    )
+    .seeds(runs.len());
+    let t = rep.add_table("", vec!["metric", "link1 vs link2", "significant"]);
     for m in repro_bench::figure5_metrics() {
-        let base = Dataset::mean(&l2, m);
-        if let Ok(e) = unit_effect(m, &l1, &l2, base) {
-            t.row(vec![
-                m.name().to_string(),
-                pct(e.relative),
-                expstats::table::pct_ci(e.ci95),
-                if e.significant() {
-                    "yes".into()
-                } else {
-                    String::new()
-                },
-            ]);
-        }
+        // One estimator pass per seed; the CI cell and the significance
+        // tally both read from it.
+        let effects: Vec<SeedRun<Result<_, String>>> = runs
+            .iter()
+            .map(|r| {
+                let l1 = r.result.filter(|s| s.link == LinkId::One);
+                let l2 = r.result.filter(|s| s.link == LinkId::Two);
+                SeedRun {
+                    seed: r.seed,
+                    result: unit_effect(m, &l1, &l2, Dataset::mean(&l2, m))
+                        .map_err(|e| e.to_string()),
+                }
+            })
+            .collect();
+        let ok_effects = || effects.iter().filter_map(|r| r.result.as_ref().ok());
+        let estimable = ok_effects().count();
+        let significant = ok_effects().filter(|e| e.significant()).count();
+        let cell = rep.estimator_cell(&effects, m.name(), fmt_pct, |e| {
+            e.as_ref().map(|e| e.relative).map_err(Clone::clone)
+        });
+        rep.row(
+            t,
+            m.name(),
+            vec![cell, FigCell::text(format!("{significant}/{estimable}"))],
+        );
     }
-    println!("{}", t.render());
-    println!("(paper: +5% bytes, +20% sessions-with-rebuffers on link 1; most others n.s.)");
+    rep.note("(paper: +5% bytes, +20% sessions-with-rebuffers on link 1; most others n.s.)");
+    rep.emit();
 }

@@ -7,8 +7,11 @@
 //! the correspondence. Shapes, not absolute magnitudes, are the
 //! reproduction target.
 
+pub mod figharness;
+pub mod json;
 pub mod runner;
 
+pub use figharness::{FigCell, FigureReport};
 pub use runner::{derive_seeds, metric_across_seeds, metric_ci, Runner, SeedCi, SeedRun};
 
 use dessim::SimDuration;
@@ -41,6 +44,17 @@ pub fn mixed_apps(n: usize, k: usize, make: impl Fn(bool) -> AppConfig) -> Vec<A
 /// A plain unpaced app of the given CC.
 pub fn plain(cc: CcKind) -> AppConfig {
     AppConfig::plain(cc)
+}
+
+/// Mean of one per-app metric over an arm's slice of a lab result, or
+/// NaN for an empty arm (the k = 0 / k = 10 endpoints of the §3
+/// k-sweeps).
+pub fn app_mean(apps: &[netsim::AppMetrics], f: fn(&netsim::AppMetrics) -> f64) -> f64 {
+    if apps.is_empty() {
+        f64::NAN
+    } else {
+        apps.iter().map(f).sum::<f64>() / apps.len() as f64
+    }
 }
 
 /// Streaming world for the §4/§5 figures. `scale` shrinks capacity and

@@ -104,7 +104,7 @@ impl Runner {
     ///
     /// Work distribution is chunked work-stealing: each worker claims a
     /// contiguous index range sized by a decay heuristic —
-    /// `remaining / (2 · workers)`, clamped to [`MIN_CHUNK`] — so early
+    /// `remaining / (2 · workers)`, clamped to `MIN_CHUNK` — so early
     /// claims amortize the shared counter over many jobs while late
     /// claims shrink toward single jobs for tail balance. The worker
     /// count is clamped to the job count, so `threads > jobs` never
@@ -177,6 +177,37 @@ impl Runner {
         })
         .into_iter()
         .collect()
+    }
+
+    /// Sweep a (parameter × seed) grid as one flat parallel job list.
+    ///
+    /// The ablation figures sweep a handful of configurations across
+    /// replication seeds each; scheduling the full cross product at once
+    /// keeps all workers busy even when one parameter's replications are
+    /// slow. Results come back grouped per parameter (input order), each
+    /// group in seed order and bit-identical to a nested sequential
+    /// loop.
+    pub fn sweep_grid<P, R, F>(&self, params: &[P], seeds: &[u64], f: F) -> Vec<Vec<SeedRun<R>>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P, u64) -> R + Sync,
+    {
+        let jobs: Vec<(usize, u64)> = params
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, _)| seeds.iter().map(move |&s| (pi, s)))
+            .collect();
+        let flat = self.map(&jobs, |&(pi, seed)| SeedRun {
+            seed,
+            result: f(&params[pi], seed),
+        });
+        let mut grouped: Vec<Vec<SeedRun<R>>> = Vec::with_capacity(params.len());
+        let mut it = flat.into_iter();
+        for _ in 0..params.len() {
+            grouped.push(it.by_ref().take(seeds.len()).collect());
+        }
+        grouped
     }
 
     /// [`Runner::sweep`] over `replications` seeds forked from
@@ -345,6 +376,28 @@ mod tests {
         });
         assert_eq!(out, (0..1777).map(|j| j * 3).collect::<Vec<_>>());
         assert_eq!(calls.into_inner(), 1777);
+    }
+
+    #[test]
+    fn sweep_grid_matches_nested_sequential() {
+        let params = [2.0f64, 3.0, 5.0];
+        let seeds = derive_seeds(11, 4);
+        let f = |p: &f64, seed: u64| {
+            let mut rng = SimRng::new(seed);
+            rng.uniform01() * p
+        };
+        let grid = Runner::with_threads(4).sweep_grid(&params, &seeds, f);
+        assert_eq!(grid.len(), params.len());
+        for (p, group) in params.iter().zip(&grid) {
+            let seq: Vec<SeedRun<f64>> = seeds
+                .iter()
+                .map(|&s| SeedRun {
+                    seed: s,
+                    result: f(p, s),
+                })
+                .collect();
+            assert_eq!(group, &seq);
+        }
     }
 
     #[test]

@@ -24,6 +24,12 @@ impl DiffEstimate {
         self.ci.0 > 0.0 || self.ci.1 < 0.0
     }
 
+    /// Half the confidence-interval width (the "±" the time-series
+    /// figures print next to each cross-seed mean).
+    pub fn half_width(&self) -> f64 {
+        (self.ci.1 - self.ci.0) / 2.0
+    }
+
     /// Rescale estimate, SE and CI by a constant (used to express effects
     /// relative to a global control mean, as the paper normalizes).
     pub fn scaled(&self, factor: f64) -> DiffEstimate {
@@ -150,9 +156,68 @@ pub fn mean_ci(xs: &[f64], level: f64) -> Result<DiffEstimate> {
     })
 }
 
+/// Column-wise mean ± CI half-width across replicated series.
+///
+/// `rows` are per-replication series (e.g. one normalized hourly series
+/// per seed); the result has one entry per column up to the longest
+/// row. Non-finite entries and short rows are skipped column-wise; a
+/// column with fewer than two finite values yields `(NaN, NaN)` instead
+/// of failing the whole aggregation (figures render those as gaps).
+pub fn columnwise_mean_ci(rows: &[Vec<f64>], level: f64) -> (Vec<f64>, Vec<f64>) {
+    let len = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut means = Vec::with_capacity(len);
+    let mut half_widths = Vec::with_capacity(len);
+    for col in 0..len {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.get(col).copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        match mean_ci(&vals, level) {
+            Ok(d) => {
+                means.push(d.estimate);
+                half_widths.push(d.half_width());
+            }
+            Err(_) => {
+                means.push(f64::NAN);
+                half_widths.push(f64::NAN);
+            }
+        }
+    }
+    (means, half_widths)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn columnwise_ci_skips_nan_and_short_rows() {
+        let rows = vec![
+            vec![1.0, 10.0, 5.0],
+            vec![3.0, f64::NAN, 5.0],
+            vec![2.0, 14.0], // short row: no column-2 contribution
+        ];
+        let (means, hw) = columnwise_mean_ci(&rows, 0.95);
+        assert_eq!(means.len(), 3);
+        assert!((means[0] - 2.0).abs() < 1e-12);
+        assert!((means[1] - 12.0).abs() < 1e-12);
+        // Column 2 has two equal finite values: mean 5, zero width.
+        assert!((means[2] - 5.0).abs() < 1e-12);
+        assert!(hw[2].abs() < 1e-12);
+        assert!(hw[0] > 0.0 && hw[1] > 0.0);
+        // A column with < 2 finite values yields NaN, not an error.
+        let (m, w) = columnwise_mean_ci(&[vec![1.0]], 0.95);
+        assert!(m[0].is_nan() && w[0].is_nan());
+        // Empty input: empty output.
+        assert_eq!(columnwise_mean_ci(&[], 0.95), (vec![], vec![]));
+    }
+
+    #[test]
+    fn half_width_matches_ci() {
+        let d = mean_ci(&[1.0, 2.0, 3.0, 4.0], 0.95).unwrap();
+        assert!((d.half_width() - (d.ci.1 - d.estimate)).abs() < 1e-12);
+    }
 
     #[test]
     fn diff_detects_clear_separation() {

@@ -41,7 +41,7 @@ pub mod table;
 pub mod timeseries;
 
 pub use describe::{mean, stddev, variance, Summary};
-pub use infer::{diff_in_means, mean_ci, welch_t_test, DiffEstimate};
+pub use infer::{columnwise_mean_ci, diff_in_means, mean_ci, welch_t_test, DiffEstimate};
 pub use linalg::Matrix;
 pub use ols::{CovEstimator, Ols, OlsFit};
 
