@@ -82,6 +82,28 @@ fn main() {
     });
     rows.push(("five_day_default", m, n));
 
+    // A small fleet sweep through the link×seed work-stealing scheduler:
+    // the fleet layer's hot path (N independent LinkSims + regrouping),
+    // on the same plant the fleet figures run (`fleet_population`) so
+    // the gate tracks the workload that matters. Identical in quick and
+    // full modes — only the sample count differs — so the CI regression
+    // gate can compare its median meaningfully.
+    let (fleet_base, fleet_specs) = repro_bench::fleet_population(12, 1, 99);
+    let fleet_design = streamsim::fleet::FleetDesign::LinkLevel {
+        p_hi: 0.95,
+        p_lo: 0.05,
+    };
+    let fleet_runner = Runner::with_threads(4);
+    let (m, n) = time_scenario(reps, || {
+        let runs = fleet_runner.sweep_fleet(&fleet_base, &fleet_specs, &fleet_design, &[1, 2]);
+        std::hint::black_box(
+            runs.iter()
+                .map(|r| r.result.total_sessions())
+                .sum::<usize>(),
+        );
+    });
+    rows.push(("fleet_quick", m, n));
+
     // Runner scheduling overhead: a flood of sub-microsecond jobs
     // across an oversubscribed pool, so the measurement is dominated by
     // claim/collect costs — the target of the chunked work-stealing

@@ -41,6 +41,8 @@ pub const EXPECTED_FIGURES: &[&str] = &[
     "aa_calibration",
     "quantile_effects",
     "sec5_gradual_deployment",
+    "fleet_design_comparison",
+    "fleet_aggregation_ci",
 ];
 
 fn main() -> ExitCode {

@@ -35,6 +35,10 @@ pub const QUICK_STREAM_SCALE: f64 = 0.15;
 /// still has pre and post days, and an alternating switchback plan still
 /// has both arms.
 pub const QUICK_STREAM_DAYS: usize = 3;
+/// Fleet-size cap under quick mode: CI smoke runs a ≤16-link fleet so
+/// the fleet figures execute in seconds while keeping enough clusters
+/// for both arms of a link-level randomization to show up.
+pub const QUICK_FLEET_LINKS: usize = 16;
 
 /// Whether quick mode (`FIG_QUICK=1`) is active.
 pub fn quick() -> bool {
@@ -64,6 +68,16 @@ pub fn stream_scale(full: f64) -> f64 {
 pub fn stream_days(full: usize) -> usize {
     if quick() {
         full.min(QUICK_STREAM_DAYS)
+    } else {
+        full
+    }
+}
+
+/// Fleet link count honoring quick mode: `full` normally,
+/// `min(full, QUICK_FLEET_LINKS)` under `FIG_QUICK=1`.
+pub fn fleet_links(full: usize) -> usize {
+    if quick() {
+        full.min(QUICK_FLEET_LINKS)
     } else {
         full
     }

@@ -74,6 +74,55 @@ pub fn main_experiment(scale: f64, days: usize, seed: u64) -> PairedLinkDesign {
     PairedLinkDesign::paper(paired_config(scale, days), seed)
 }
 
+/// Base configuration of one fleet link: a scaled-down reliably
+/// congested bottleneck (peak offered demand ≈ 1.2× capacity, the same
+/// regime as the paired-link world) cheap enough that a 200-link fleet
+/// sweeps in minutes.
+pub fn fleet_base(days: usize) -> StreamConfig {
+    StreamConfig {
+        days,
+        capacity_bps: 30e6,
+        peak_arrivals_per_s: 0.24 * 0.03,
+        ..Default::default()
+    }
+}
+
+/// The standard heterogeneous fleet of the fleet figures: capacities,
+/// RTTs, client counts and per-client demand drawn from
+/// [`streamsim::fleet::LinkPopulation::moderate`] around [`fleet_base`].
+/// Returns the base config plus the sampled specs (fixed per `seed`, so
+/// every figure runs the same plant).
+pub fn fleet_population(
+    n_links: usize,
+    days: usize,
+    seed: u64,
+) -> (StreamConfig, Vec<streamsim::fleet::LinkSpec>) {
+    let base = fleet_base(days);
+    let specs = streamsim::fleet::LinkPopulation::moderate(base.clone(), n_links, seed).sample();
+    (base, specs)
+}
+
+/// Congestion strata the fleet figures report per-stratum tables over:
+/// terciles on a real fleet, halves on the ≤16-link quick fleet (a
+/// 5-link tercile often realizes fewer than two cluster coins per arm).
+/// Shared by both fleet binaries so they always stratify identically.
+pub fn fleet_strata_count(n_links: usize) -> usize {
+    if n_links >= 60 {
+        3
+    } else {
+        2
+    }
+}
+
+/// Row labels matching [`fleet_strata_count`], ascending offered load.
+pub fn fleet_strata_labels(n_links: usize) -> &'static [&'static str] {
+    if fleet_strata_count(n_links) == 3 {
+        &["low load", "mid load", "high load"]
+    } else {
+        &["low load", "high load"]
+    }
+}
+
 /// The metric set reported in the Figure 5 table.
 pub fn figure5_metrics() -> Vec<streamsim::session::Metric> {
     use streamsim::session::Metric;

@@ -28,6 +28,9 @@ use dessim::SimRng;
 use netsim::config::DumbbellConfig;
 use netsim::{run_dumbbell, LabResult};
 use streamsim::config::StreamConfig;
+use streamsim::fleet::{
+    run_fleet_link, FleetDesign, FleetLinkJob, FleetLinkRun, FleetRun, FleetSim, LinkSpec,
+};
 use streamsim::scenario::AllocationSchedule;
 use streamsim::session::{LinkId, SessionRecord};
 use streamsim::sim::{HourlyLinkStats, LinkSim, PairedSim};
@@ -267,6 +270,48 @@ impl Runner {
             let run = PairedSim::with_paper_biases(cfg.clone(), schedules.clone(), seed).run();
             (run.sessions, run.hourly)
         })
+    }
+
+    /// Sweep a fleet experiment across replication seeds, scheduling
+    /// **link×seed** jobs as one flat work-stealing list.
+    ///
+    /// Fleet links are independent given their derived seeds (see
+    /// [`FleetSim`]'s seed discipline), so the whole sweep — every link
+    /// of every replication — goes through [`Runner::map`] as a single
+    /// job list: 200 links × a handful of seeds saturates every core
+    /// even when one congested link dominates its replication's
+    /// wall-clock. Results are regrouped seed-major and are
+    /// bit-identical to running [`FleetSim::run`] per seed sequentially
+    /// (`crates/bench/tests/fleet_parallel.rs` asserts the parity).
+    pub fn sweep_fleet(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        seeds: &[u64],
+    ) -> Vec<SeedRun<FleetRun>> {
+        // Plans and per-link seeds are cheap and deterministic; derive
+        // them up front so the parallel phase is pure simulation.
+        let mut per_seed_pairs = Vec::with_capacity(seeds.len());
+        let mut jobs: Vec<FleetLinkJob> = Vec::with_capacity(seeds.len() * specs.len());
+        for &seed in seeds {
+            let (seed_jobs, pairs) = FleetSim::new(base, specs, design, seed).into_parts();
+            per_seed_pairs.push(pairs);
+            jobs.extend(seed_jobs);
+        }
+        let link_runs = self.map(&jobs, run_fleet_link);
+        let mut it = link_runs.into_iter();
+        seeds
+            .iter()
+            .zip(per_seed_pairs)
+            .map(|(&seed, pairs)| {
+                let links: Vec<FleetLinkRun> = it.by_ref().take(specs.len()).collect();
+                SeedRun {
+                    seed,
+                    result: FleetRun { links, pairs },
+                }
+            })
+            .collect()
     }
 
     /// Sweep a single streaming link under `schedule`.

@@ -29,6 +29,6 @@ pub mod sutva;
 
 pub use assignment::Assignment;
 pub use estimand::{Estimands, WhichArm};
-pub use estimators::naive_ab;
+pub use estimators::{between_within, naive_ab, BetweenWithin, ClusterCell};
 pub use exposure::ExposureCurves;
 pub use potential::PotentialOutcomes;

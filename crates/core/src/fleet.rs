@@ -1,0 +1,546 @@
+//! Fleet-level analysis: effect estimators over a
+//! [`streamsim::fleet::FleetRun`].
+//!
+//! The single-pair analyses in [`crate::analysis`] assume the two-link
+//! world of §4; this module generalizes them to a fleet of N links and
+//! wires in the clustering machinery the fleet designs need:
+//!
+//! * [`user_level_effect`] — the pooled session-level contrast every
+//!   naïve A/B test reports, but with **link-clustered standard errors**
+//!   (`expstats::OlsFit::covariance_clustered`): sessions on one
+//!   congested link share shocks, so iid SEs understate the noise;
+//! * [`link_level_effect`] — the cluster-randomized estimator: treated
+//!   sessions on treated links vs control sessions on control links,
+//!   each link one observation, Welch CI across links;
+//! * [`paired_effect`] — per-pair contrasts for the stratified paired
+//!   design, averaged with a Student-t CI over pairs;
+//! * [`fleet_between_within`] — the between/within-link decomposition
+//!   ([`causal::between_within`]) that diagnoses interference: the two
+//!   components diverge exactly when unit-level randomization is biased;
+//! * [`ground_truth_tte`] — the simulator's privilege: rerun the same
+//!   fleet all-treated and all-control and difference the means, the
+//!   estimand both designs are trying to recover.
+
+use causal::estimators::{between_within, BetweenWithin, ClusterCell};
+use expstats::dist::t_critical;
+use expstats::ols::{DesignBuilder, Ols};
+use expstats::{diff_in_means, mean, mean_ci, Result, StatsError};
+use streamsim::config::StreamConfig;
+use streamsim::fleet::{FleetDesign, FleetLinkRun, FleetRun, FleetSim, LinkSpec};
+use streamsim::session::Metric;
+
+/// A fleet-level effect estimate, normalized by a baseline mean.
+#[derive(Debug, Clone)]
+pub struct FleetEffect {
+    /// Metric the effect concerns.
+    pub metric: Metric,
+    /// Absolute effect (metric units).
+    pub absolute: f64,
+    /// Effect relative to the baseline mean.
+    pub relative: f64,
+    /// 95% confidence interval (relative units).
+    pub ci95: (f64, f64),
+    /// Standard error (relative units).
+    pub se: f64,
+    /// Sessions entering the estimate.
+    pub n_sessions: usize,
+    /// Clusters (links, or pairs for the paired estimator) behind the
+    /// uncertainty quantification.
+    pub n_clusters: usize,
+}
+
+impl FleetEffect {
+    /// Whether the 95% CI excludes zero.
+    pub fn significant(&self) -> bool {
+        self.ci95.0 > 0.0 || self.ci95.1 < 0.0
+    }
+
+    /// Whether the 95% CI covers a hypothesized relative effect.
+    pub fn covers(&self, truth: f64) -> bool {
+        self.ci95.0 <= truth && truth <= self.ci95.1
+    }
+}
+
+fn finite_values(links: &[&FleetLinkRun], metric: Metric, treated: Option<bool>) -> Vec<f64> {
+    links
+        .iter()
+        .flat_map(|l| l.sessions.iter())
+        .filter(|s| treated.is_none_or(|t| s.treated == t))
+        .map(|s| metric.of(s))
+        .filter(|v| v.is_finite())
+        .collect()
+}
+
+/// Global control mean for normalization: control sessions on
+/// control-cluster links when the design assigned cluster arms (the
+/// fleet analogue of Appendix B's "same global control condition"),
+/// otherwise all control sessions.
+pub fn control_mean(links: &[&FleetLinkRun], metric: Metric) -> f64 {
+    let control_links: Vec<&FleetLinkRun> = links
+        .iter()
+        .copied()
+        .filter(|l| l.treated_cluster == Some(false))
+        .collect();
+    let vals = if control_links.is_empty() {
+        finite_values(links, metric, Some(false))
+    } else {
+        finite_values(&control_links, metric, Some(false))
+    };
+    mean(&vals)
+}
+
+/// The pooled session-level (user-level) contrast with link-clustered
+/// standard errors: OLS of the metric on a treatment indicator, CRV1
+/// covariance clustered on the link, t interval on `G − 1` degrees of
+/// freedom. This is what a fleet-wide Bernoulli A/B test reports —
+/// unbiased for `τ(p)`, but `τ(p)` itself is the wrong target under
+/// congestion interference.
+pub fn user_level_effect(
+    links: &[&FleetLinkRun],
+    metric: Metric,
+    baseline: f64,
+) -> Result<FleetEffect> {
+    if baseline == 0.0 || !baseline.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "user_level_effect: bad baseline",
+        });
+    }
+    let mut y = Vec::new();
+    let mut arm = Vec::new();
+    let mut clusters = Vec::new();
+    for l in links {
+        for s in &l.sessions {
+            let v = metric.of(s);
+            if v.is_finite() {
+                y.push(v);
+                arm.push(if s.treated { 1.0 } else { 0.0 });
+                clusters.push(l.link);
+            }
+        }
+    }
+    let n = y.len();
+    let design = DesignBuilder::new()
+        .intercept(n)?
+        .column("treated", &arm)?
+        .build()?;
+    let fit = Ols::fit(design, &y)?;
+    let est = fit.coef[1];
+    let se = fit.std_errors_clustered(&clusters)?[1];
+    let mut sorted = clusters.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let g = sorted.len();
+    let tcrit = t_critical(0.95, (g as f64 - 1.0).max(1.0));
+    Ok(FleetEffect {
+        metric,
+        absolute: est,
+        relative: est / baseline,
+        ci95: ((est - tcrit * se) / baseline, (est + tcrit * se) / baseline),
+        se: se / baseline.abs(),
+        n_sessions: n,
+        n_clusters: g,
+    })
+}
+
+/// The link-level (cluster-randomized) estimator: one observation per
+/// link — the mean over treated sessions on treated-cluster links, the
+/// mean over control sessions on control-cluster links — compared with
+/// a Welch interval across links. Because a treated link is ~entirely
+/// treated, its sessions already include the within-link spillover, so
+/// this contrast targets the total treatment effect rather than `τ(p)`.
+pub fn link_level_effect(
+    links: &[&FleetLinkRun],
+    metric: Metric,
+    baseline: f64,
+) -> Result<FleetEffect> {
+    if baseline == 0.0 || !baseline.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "link_level_effect: bad baseline",
+        });
+    }
+    let mut t_means = Vec::new();
+    let mut c_means = Vec::new();
+    let mut n_sessions = 0usize;
+    for l in links {
+        let Some(arm) = l.treated_cluster else {
+            continue;
+        };
+        let vals = finite_values(std::slice::from_ref(l), metric, Some(arm));
+        if vals.is_empty() {
+            continue;
+        }
+        n_sessions += vals.len();
+        if arm {
+            t_means.push(mean(&vals));
+        } else {
+            c_means.push(mean(&vals));
+        }
+    }
+    let d = diff_in_means(&t_means, &c_means, 0.95)?;
+    let r = d.scaled(1.0 / baseline);
+    Ok(FleetEffect {
+        metric,
+        absolute: d.estimate,
+        relative: r.estimate,
+        ci95: r.ci,
+        se: r.se,
+        n_sessions,
+        n_clusters: t_means.len() + c_means.len(),
+    })
+}
+
+/// The stratified paired estimator: for every matched `(treated,
+/// control)` pair, difference the treated link's treated-session mean
+/// against the control link's control-session mean, then average with a
+/// Student-t CI over pairs. Matching on the baseline covariate removes
+/// the between-link heterogeneity the unpaired cluster contrast pays
+/// for, so its CIs are typically far tighter at the same fleet size.
+pub fn paired_effect(run: &FleetRun, metric: Metric, baseline: f64) -> Result<FleetEffect> {
+    if baseline == 0.0 || !baseline.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "paired_effect: bad baseline",
+        });
+    }
+    if run.pairs.is_empty() {
+        return Err(StatsError::TooFewObservations { got: 0, need: 2 });
+    }
+    let mut diffs = Vec::with_capacity(run.pairs.len());
+    let mut n_sessions = 0usize;
+    for &(t, c) in &run.pairs {
+        let tv = finite_values(&[&run.links[t]], metric, Some(true));
+        let cv = finite_values(&[&run.links[c]], metric, Some(false));
+        if tv.is_empty() || cv.is_empty() {
+            continue;
+        }
+        n_sessions += tv.len() + cv.len();
+        diffs.push(mean(&tv) - mean(&cv));
+    }
+    let d = mean_ci(&diffs, 0.95)?;
+    let r = d.scaled(1.0 / baseline);
+    Ok(FleetEffect {
+        metric,
+        absolute: d.estimate,
+        relative: r.estimate,
+        ci95: r.ci,
+        se: r.se,
+        n_sessions,
+        n_clusters: diffs.len(),
+    })
+}
+
+/// The same cluster contrast under three uncertainty treatments — the
+/// fleet-scale generalization of the paper's Figure 13 (hourly vs
+/// session aggregation): pooled sessions with iid (Welch) standard
+/// errors, pooled sessions with link-clustered (CRV1) standard errors,
+/// and full aggregation to one observation per link.
+///
+/// All three share the estimand — treated sessions on treated-cluster
+/// links vs control sessions on control-cluster links — so the point
+/// estimates are close and only the intervals differ: iid SEs pretend
+/// every session is independent and collapse as sessions accumulate,
+/// while the clustered and link-aggregated intervals stay honest about
+/// the number of *links*, which is the real replication unit.
+#[derive(Debug, Clone)]
+pub struct AggregationComparison {
+    /// Welch over pooled sessions (the anti-conservative default).
+    pub iid: FleetEffect,
+    /// Pooled sessions, link-clustered CRV1 standard errors.
+    pub clustered: FleetEffect,
+    /// One mean per link (see [`link_level_effect`]).
+    pub link_means: FleetEffect,
+}
+
+/// Compute the [`AggregationComparison`] for a cluster-randomized fleet
+/// run (links without a cluster arm are skipped).
+pub fn aggregation_comparison(
+    links: &[&FleetLinkRun],
+    metric: Metric,
+    baseline: f64,
+) -> Result<AggregationComparison> {
+    if baseline == 0.0 || !baseline.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "aggregation_comparison: bad baseline",
+        });
+    }
+    // Pooled arm samples plus their cluster labels.
+    let mut y = Vec::new();
+    let mut arm_col = Vec::new();
+    let mut clusters = Vec::new();
+    let mut pooled_t = Vec::new();
+    let mut pooled_c = Vec::new();
+    for l in links {
+        let Some(arm) = l.treated_cluster else {
+            continue;
+        };
+        for s in &l.sessions {
+            if s.treated != arm {
+                continue;
+            }
+            let v = metric.of(s);
+            if !v.is_finite() {
+                continue;
+            }
+            y.push(v);
+            arm_col.push(if arm { 1.0 } else { 0.0 });
+            clusters.push(l.link);
+            if arm {
+                pooled_t.push(v);
+            } else {
+                pooled_c.push(v);
+            }
+        }
+    }
+    let n = y.len();
+    // (a) iid Welch over sessions.
+    let d = diff_in_means(&pooled_t, &pooled_c, 0.95)?;
+    let mut sorted = clusters.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let g = sorted.len();
+    let to_effect = |est: f64, se: f64, ci: (f64, f64), n_clusters: usize| FleetEffect {
+        metric,
+        absolute: est,
+        relative: est / baseline,
+        ci95: (ci.0 / baseline, ci.1 / baseline),
+        se: se / baseline.abs(),
+        n_sessions: n,
+        n_clusters,
+    };
+    let iid = to_effect(d.estimate, d.se, d.ci, g);
+    // (b) same contrast, link-clustered SEs via OLS on the arm dummy.
+    let design = DesignBuilder::new()
+        .intercept(n)?
+        .column("treated", &arm_col)?
+        .build()?;
+    let fit = Ols::fit(design, &y)?;
+    let se_cl = fit.std_errors_clustered(&clusters)?[1];
+    let tcrit = t_critical(0.95, (g as f64 - 1.0).max(1.0));
+    let est = fit.coef[1];
+    let clustered = to_effect(est, se_cl, (est - tcrit * se_cl, est + tcrit * se_cl), g);
+    // (c) one observation per link.
+    let link_means = link_level_effect(links, metric, baseline)?;
+    Ok(AggregationComparison {
+        iid,
+        clustered,
+        link_means,
+    })
+}
+
+/// Build one [`ClusterCell`] per link for the between/within
+/// decomposition.
+pub fn cluster_cells(links: &[&FleetLinkRun], metric: Metric) -> Vec<ClusterCell> {
+    links
+        .iter()
+        .map(|l| ClusterCell {
+            treated: finite_values(std::slice::from_ref(l), metric, Some(true)),
+            control: finite_values(std::slice::from_ref(l), metric, Some(false)),
+        })
+        .collect()
+}
+
+/// The between/within-link decomposition of a fleet experiment's effect
+/// (see [`causal::BetweenWithin`]): `within` is what user-level
+/// randomization estimates, `between` what link-level randomization
+/// estimates; divergence is the congestion-interference signature.
+pub fn fleet_between_within(links: &[&FleetLinkRun], metric: Metric) -> Result<BetweenWithin> {
+    between_within(&cluster_cells(links, metric), 0.95)
+}
+
+/// Split a fleet's links into `n_strata` groups by ascending baseline
+/// offered-load covariate (near-equal sizes; later strata are the more
+/// congested links). Strata with fewer links than `n_strata` collapse
+/// gracefully — chunks are never empty.
+pub fn strata(run: &FleetRun, n_strata: usize) -> Vec<Vec<&FleetLinkRun>> {
+    assert!(n_strata > 0, "need at least one stratum");
+    let mut order: Vec<&FleetLinkRun> = run.links.iter().collect();
+    order.sort_by(|a, b| {
+        a.offered_load
+            .total_cmp(&b.offered_load)
+            .then(a.link.cmp(&b.link))
+    });
+    let n = order.len();
+    let k = n_strata.min(n.max(1));
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let end = start + n / k + usize::from(i < n % k);
+        out.push(order[start..end].to_vec());
+        start = end;
+    }
+    out
+}
+
+/// The estimand both designs chase, measured directly: rerun the *same*
+/// fleet (same specs, same per-link seeds) under global treatment
+/// (`p = 1`) and global control (`p = 0`) and difference the
+/// session-mean outcomes, normalized by the global-control mean.
+/// Returns the relative total treatment effect.
+pub fn ground_truth_tte(
+    base: &StreamConfig,
+    specs: &[LinkSpec],
+    metric: Metric,
+    seed: u64,
+) -> Result<f64> {
+    let run_at = |p: f64| FleetSim::new(base, specs, &FleetDesign::UserLevel { p }, seed).run();
+    ground_truth_tte_from_runs(&run_at(1.0), &run_at(0.0), metric)
+}
+
+/// [`ground_truth_tte`] on counterfactual runs the caller already holds
+/// — the all-treated and all-control fleets must share specs and
+/// per-link seeds (i.e. the same replication seed under
+/// `FleetDesign::UserLevel { p: 1.0 }` / `{ p: 0.0 }`). Exposed so
+/// parallel sweeps (e.g. the fleet figures running both counterfactuals
+/// through `sweep_fleet`) use the same estimand definition instead of
+/// reimplementing the reduction.
+pub fn ground_truth_tte_from_runs(
+    all_treated: &FleetRun,
+    all_control: &FleetRun,
+    metric: Metric,
+) -> Result<f64> {
+    let values = |run: &FleetRun| -> Vec<f64> {
+        let links: Vec<&FleetLinkRun> = run.links.iter().collect();
+        finite_values(&links, metric, None)
+    };
+    let treated = values(all_treated);
+    let control = values(all_control);
+    let mc = mean(&control);
+    if treated.is_empty() || control.is_empty() || mc == 0.0 || !mc.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "ground_truth_tte: degenerate counterfactual runs",
+        });
+    }
+    Ok((mean(&treated) - mc) / mc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamsim::fleet::LinkPopulation;
+
+    fn small_base() -> StreamConfig {
+        StreamConfig {
+            days: 1,
+            capacity_bps: 30e6,
+            peak_arrivals_per_s: 0.24 * 0.03,
+            mean_watch_s: 1500.0,
+            ..Default::default()
+        }
+    }
+
+    fn fleet_run(n: usize, design: &FleetDesign, seed: u64) -> FleetRun {
+        let specs = LinkPopulation::moderate(small_base(), n, 7).sample();
+        FleetSim::new(&small_base(), &specs, design, seed).run()
+    }
+
+    #[test]
+    fn user_level_estimator_reports_clustered_uncertainty() {
+        let run = fleet_run(6, &FleetDesign::UserLevel { p: 0.5 }, 3);
+        let links: Vec<&FleetLinkRun> = run.links.iter().collect();
+        let base = control_mean(&links, Metric::Bitrate);
+        assert!(base > 0.0);
+        let e = user_level_effect(&links, Metric::Bitrate, base).unwrap();
+        assert_eq!(e.n_clusters, 6);
+        assert!(e.n_sessions > 1000);
+        // Direct capping effect: bitrate drops markedly.
+        assert!(e.relative < -0.1, "bitrate effect {}", e.relative);
+        assert!(e.ci95.0 < e.relative && e.relative < e.ci95.1);
+    }
+
+    #[test]
+    fn link_level_estimator_contrasts_cluster_arms() {
+        let design = FleetDesign::LinkLevel {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        let run = fleet_run(10, &design, 5);
+        let links: Vec<&FleetLinkRun> = run.links.iter().collect();
+        let base = control_mean(&links, Metric::Bitrate);
+        let e = link_level_effect(&links, Metric::Bitrate, base).unwrap();
+        assert!(e.n_clusters >= 4, "clusters {}", e.n_clusters);
+        assert!(e.relative < -0.1, "bitrate TTE {}", e.relative);
+    }
+
+    #[test]
+    fn paired_estimator_uses_matched_pairs() {
+        let design = FleetDesign::StratifiedPairs {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        let run = fleet_run(8, &design, 11);
+        assert_eq!(run.pairs.len(), 4);
+        let links: Vec<&FleetLinkRun> = run.links.iter().collect();
+        let base = control_mean(&links, Metric::Bitrate);
+        let e = paired_effect(&run, Metric::Bitrate, base).unwrap();
+        assert_eq!(e.n_clusters, 4);
+        assert!(e.relative < -0.1, "paired bitrate TTE {}", e.relative);
+    }
+
+    #[test]
+    fn strata_partition_links_by_covariate() {
+        let run = fleet_run(9, &FleetDesign::UserLevel { p: 0.5 }, 1);
+        let groups = strata(&run, 3);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 9);
+        // Ascending covariate across strata boundaries.
+        for w in groups.windows(2) {
+            let hi_of_lo = w[0].last().unwrap().offered_load;
+            let lo_of_hi = w[1].first().unwrap().offered_load;
+            assert!(hi_of_lo <= lo_of_hi);
+        }
+        // More strata than links collapses without panicking.
+        let tiny = fleet_run(2, &FleetDesign::UserLevel { p: 0.5 }, 1);
+        let g = strata(&tiny, 5);
+        assert_eq!(g.iter().map(Vec::len).sum::<usize>(), 2);
+        assert!(g.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn between_within_runs_on_fleet_data() {
+        let design = FleetDesign::LinkLevel {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        let run = fleet_run(10, &design, 9);
+        let links: Vec<&FleetLinkRun> = run.links.iter().collect();
+        let bw = fleet_between_within(&links, Metric::Bitrate).unwrap();
+        assert_eq!(bw.n_within, 10, "every link has a few of each arm at 95/5");
+        let between = bw.between.expect("both cluster arms present");
+        // The direct capping effect dominates bitrate; both components
+        // see it.
+        assert!(between.estimate < 0.0);
+        assert!(bw.within.unwrap().estimate < 0.0);
+    }
+
+    #[test]
+    fn aggregation_comparison_orders_interval_widths() {
+        let design = FleetDesign::LinkLevel {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        let run = fleet_run(12, &design, 13);
+        let links: Vec<&FleetLinkRun> = run.links.iter().collect();
+        let base = control_mean(&links, Metric::Throughput);
+        let cmp = aggregation_comparison(&links, Metric::Throughput, base).unwrap();
+        // All three target the same contrast.
+        assert!((cmp.iid.relative - cmp.clustered.relative).abs() < 1e-9);
+        let width = |e: &FleetEffect| e.ci95.1 - e.ci95.0;
+        // Session-iid intervals are the anti-conservative outlier:
+        // clustered and link-aggregated intervals respect the link count
+        // and come out wider.
+        assert!(
+            width(&cmp.clustered) > width(&cmp.iid),
+            "clustered {} vs iid {}",
+            width(&cmp.clustered),
+            width(&cmp.iid)
+        );
+        assert!(width(&cmp.link_means) > width(&cmp.iid));
+        assert_eq!(cmp.clustered.n_clusters, 12);
+    }
+
+    #[test]
+    fn ground_truth_tte_detects_direct_bitrate_effect() {
+        let specs = LinkPopulation::moderate(small_base(), 3, 7).sample();
+        let tte = ground_truth_tte(&small_base(), &specs, Metric::Bitrate, 21).unwrap();
+        assert!(tte < -0.15, "global capping must cut bitrate: {tte}");
+    }
+}

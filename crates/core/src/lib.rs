@@ -14,6 +14,10 @@
 //!   **gradual deployments** instrumented for interference detection;
 //! * A/A calibration and false-positive scans in
 //!   `aa_scan`-style helpers (see [`designs`]);
+//! * fleet-scale estimators in [`fleet`]: link-clustered standard
+//!   errors, the link-level (cluster) and stratified-paired contrasts,
+//!   the between/within-link decomposition, and the simulator's
+//!   ground-truth TTE;
 //! * report rendering for every table/figure of the paper in [`report`].
 //!
 //! The designs run against the `streamsim` paired-link world (and the
@@ -26,8 +30,10 @@
 pub mod analysis;
 pub mod dataset;
 pub mod designs;
+pub mod fleet;
 pub mod quantiles;
 pub mod report;
 
 pub use analysis::{hourly_effect, unit_effect, EffectEstimate};
 pub use dataset::Dataset;
+pub use fleet::FleetEffect;

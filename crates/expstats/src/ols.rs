@@ -189,6 +189,71 @@ impl OlsFit {
         Ok((0..self.k).map(|i| cov[(i, i)].max(0.0).sqrt()).collect())
     }
 
+    /// Cluster-robust (CRV1 / Liang–Zeger) coefficient covariance:
+    /// `(XᵀX)⁻¹ (Σ_g s_g s_gᵀ) (XᵀX)⁻¹` with cluster score sums
+    /// `s_g = Σ_{t ∈ g} u_t x_t`, scaled by the standard small-sample
+    /// correction `G/(G−1) · (n−1)/(n−k)`.
+    ///
+    /// `clusters[t]` is observation `t`'s cluster label (any `usize`;
+    /// labels need not be dense). This is the fleet analysis's
+    /// link-clustered estimator: sessions on the same congested link
+    /// share shocks (and, under interference, each other's treatments),
+    /// so iid standard errors understate the uncertainty — often
+    /// severely when effects vary across links.
+    ///
+    /// Errors when `clusters` is not `n` long or fewer than two distinct
+    /// clusters are present (the between-cluster variance is then
+    /// unidentified).
+    pub fn covariance_clustered(&self, clusters: &[usize]) -> Result<Matrix> {
+        let (n, k) = (self.n, self.k);
+        if clusters.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "covariance_clustered: one cluster label per observation",
+            });
+        }
+        // Accumulate per-cluster score sums s_g = Σ u_t x_t.
+        let mut labels: Vec<usize> = clusters.to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        let g = labels.len();
+        if g < 2 {
+            return Err(StatsError::TooFewObservations { got: g, need: 2 });
+        }
+        let mut sums = vec![0.0; g * k];
+        for (t, label) in clusters.iter().enumerate() {
+            let gi = labels.binary_search(label).expect("label present");
+            let u = self.residuals[t];
+            for j in 0..k {
+                sums[gi * k + j] += u * self.x[(t, j)];
+            }
+        }
+        // Meat: Σ_g s_g s_gᵀ.
+        let mut s = Matrix::zeros(k, k);
+        for sg in sums.chunks_exact(k) {
+            for i in 0..k {
+                for j in 0..k {
+                    s[(i, j)] += sg[i] * sg[j];
+                }
+            }
+        }
+        let correction = (g as f64 / (g as f64 - 1.0)) * ((n as f64 - 1.0) / (n as f64 - k as f64));
+        let mut cov = self.xtx_inv.matmul(&s)?.matmul(&self.xtx_inv)?;
+        for i in 0..k {
+            for j in 0..k {
+                cov[(i, j)] *= correction;
+            }
+        }
+        Ok(cov)
+    }
+
+    /// Cluster-robust standard errors (see
+    /// [`OlsFit::covariance_clustered`]). Inference should use `G − 1`
+    /// degrees of freedom, where `G` is the number of distinct clusters.
+    pub fn std_errors_clustered(&self, clusters: &[usize]) -> Result<Vec<f64>> {
+        let cov = self.covariance_clustered(clusters)?;
+        Ok((0..self.k).map(|i| cov[(i, i)].max(0.0).sqrt()).collect())
+    }
+
     /// Two-sided confidence interval for coefficient `idx` at the given
     /// confidence `level` (e.g. `0.95`), using the t distribution with
     /// `n − k` degrees of freedom.
@@ -426,6 +491,78 @@ mod tests {
         let se0 = fit.std_errors(CovEstimator::NeweyWest { lag: 0 }).unwrap()[0];
         let se6 = fit.std_errors(CovEstimator::NeweyWest { lag: 6 }).unwrap()[0];
         assert!(se6 > se0, "expected NW(6) {se6} > NW(0) {se0}");
+    }
+
+    #[test]
+    fn singleton_clusters_reduce_to_hc1() {
+        // With every observation its own cluster, the CRV1 meat is the
+        // HC meat and the correction collapses to n/(n−k) — exactly HC1.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [0.3, 1.9, 4.5, 5.8, 8.6, 9.9];
+        let x = DesignBuilder::new()
+            .intercept(6)
+            .unwrap()
+            .column("x", &xs)
+            .unwrap()
+            .build()
+            .unwrap();
+        let fit = Ols::fit(x, &ys).unwrap();
+        let singleton: Vec<usize> = (0..6).collect();
+        let crv = fit.covariance_clustered(&singleton).unwrap();
+        let hc1 = fit.covariance(CovEstimator::Hc1).unwrap();
+        assert!(crv.max_abs_diff(&hc1) < 1e-12);
+        // Labels need not be dense.
+        let sparse: Vec<usize> = (0..6).map(|i| i * 100 + 7).collect();
+        let crv2 = fit.covariance_clustered(&sparse).unwrap();
+        assert!(crv2.max_abs_diff(&hc1) < 1e-12);
+    }
+
+    #[test]
+    fn cluster_shared_shocks_widen_clustered_se() {
+        // Five clusters of ten observations each share one big shock;
+        // iid-flavored SEs treat the 50 rows as independent and
+        // understate the uncertainty of the treatment coefficient
+        // (treatment assigned at the cluster level, as in the fleet's
+        // link-level design).
+        let g = 5;
+        let per = 10;
+        let n = g * per;
+        let mut clusters = Vec::with_capacity(n);
+        let mut d = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for c in 0..g {
+            let shock = [3.0, -2.0, 1.5, -3.5, 1.0][c];
+            let treated = c % 2 == 0;
+            for i in 0..per {
+                clusters.push(c);
+                d.push(if treated { 1.0 } else { 0.0 });
+                // Tiny idiosyncratic noise on top of the shared shock.
+                ys.push(10.0 + shock + 0.01 * ((i % 3) as f64 - 1.0));
+            }
+        }
+        let x = DesignBuilder::new()
+            .intercept(n)
+            .unwrap()
+            .column("d", &d)
+            .unwrap()
+            .build()
+            .unwrap();
+        let fit = Ols::fit(x, &ys).unwrap();
+        let se_cl = fit.std_errors_clustered(&clusters).unwrap()[1];
+        let se_hc = fit.std_errors(CovEstimator::Hc1).unwrap()[1];
+        assert!(
+            se_cl > 2.0 * se_hc,
+            "clustered SE {se_cl} should dwarf HC1 {se_hc}"
+        );
+    }
+
+    #[test]
+    fn clustered_covariance_input_validation() {
+        let fit = simple_line_fit();
+        // Wrong length.
+        assert!(fit.covariance_clustered(&[0, 1]).is_err());
+        // A single cluster cannot identify between-cluster variance.
+        assert!(fit.covariance_clustered(&[7; 5]).is_err());
     }
 
     #[test]

@@ -392,9 +392,33 @@ impl ClientArena {
             }
         }
 
-        // Pass 2 (slow path): ABR decisions at the collected chunk
-        // boundaries only — EWMA refresh, ziggurat noise redraw, ladder
-        // walk, segment fold on a bitrate change.
+        // Pass 2 (slow path), split into two loops over the collected
+        // boundaries. Pass 2a batches the RNG work: each session's two
+        // draws (ziggurat normal, then the dip Bernoulli — the same
+        // per-stream order as the scalar reference, so records stay
+        // bit-identical) plus the `fast_exp` noise rebuild, touching
+        // only the rng/chunk_params/chunk_noise columns. Pass 2b then
+        // does the ABR bookkeeping (EWMA, ladder walk, segment fold)
+        // with no RNG in the loop body. Measured interleaved old-vs-new
+        // on the 1-vCPU reference box: five_day_default 1.370 s vs
+        // 1.392 s means over six rounds — neutral within the ±5% noise
+        // band (the hoped-for cross-session overlap of the serial
+        // xoshiro chains did not show up as wall-clock). Kept because
+        // the draw loop is now a self-contained batch point: a SIMD or
+        // table-sharing sampler can replace pass 2a without touching
+        // the ABR logic.
+        for &(iu, _) in boundary_scratch[..n_boundary].iter() {
+            let i = iu as usize;
+            let p = chunk_params[i];
+            let z = rng[i].standard_normal();
+            let mut noise = dessim::fast_exp(-0.5 * p.sigma * p.sigma + p.sigma * z);
+            // Rare difficulty dips: a transient collapse that can drain
+            // the buffer (rebuffer driver independent of link congestion).
+            if rng[i].bernoulli(p.dip_prob) {
+                noise *= 0.12;
+            }
+            chunk_noise[i] = noise;
+        }
         for &(iu, rate) in boundary_scratch[..n_boundary].iter() {
             let i = iu as usize;
             chunk_progress_s[i] = 0.0;
@@ -405,13 +429,6 @@ impl ClientArena {
                 throughput_est[i] = 0.8 * throughput_est[i] + 0.2 * rate;
             }
             let p = chunk_params[i];
-            let z = rng[i].standard_normal();
-            chunk_noise[i] = dessim::fast_exp(-0.5 * p.sigma * p.sigma + p.sigma * z);
-            // Rare difficulty dips: a transient collapse that can drain
-            // the buffer (rebuffer driver independent of link congestion).
-            if rng[i].bernoulli(p.dip_prob) {
-                chunk_noise[i] *= 0.12;
-            }
             let next = ladder.select_from_top(p.permitted, throughput_est[i], cfg.abr_safety);
             if next != bitrate[i] {
                 if phase[i] != Phase::Startup && (next - bitrate[i]).abs() > 1.0 {

@@ -34,6 +34,7 @@ pub mod arena;
 pub mod client;
 pub mod config;
 pub mod demand;
+pub mod fleet;
 pub mod link;
 pub mod scenario;
 pub mod session;
@@ -41,6 +42,7 @@ pub mod sim;
 
 pub use arena::ClientArena;
 pub use config::StreamConfig;
+pub use fleet::{FleetDesign, FleetRun, FleetSim, LinkPopulation, LinkSpec};
 pub use scenario::AllocationSchedule;
 pub use session::SessionRecord;
 pub use sim::{LinkSim, PairedSim};

@@ -18,11 +18,37 @@ impl AllocationSchedule {
         AllocationSchedule::Constant(0.0)
     }
 
+    /// Check the schedule is usable: allocations must be finite
+    /// probabilities, and a `PerDay` schedule must cover at least one
+    /// day. An empty `PerDay` used to silently yield allocation 0.0
+    /// forever — almost always a bug (a switchback plan that was never
+    /// filled in), so the simulators reject it at construction.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let ok = |p: f64| (0.0..=1.0).contains(&p);
+        match self {
+            AllocationSchedule::Constant(p) => {
+                if !ok(*p) {
+                    return Err("constant allocation must be a probability in [0, 1]");
+                }
+            }
+            AllocationSchedule::PerDay(ps) => {
+                if ps.is_empty() {
+                    return Err("per-day schedule is empty (would silently allocate 0.0 forever)");
+                }
+                if !ps.iter().all(|&p| ok(p)) {
+                    return Err("per-day allocations must be probabilities in [0, 1]");
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Allocation in force on `day`.
     pub fn allocation(&self, day: usize) -> f64 {
         match self {
             AllocationSchedule::Constant(p) => *p,
             AllocationSchedule::PerDay(ps) => {
+                debug_assert!(!ps.is_empty(), "empty per-day schedule (see validate())");
                 if ps.is_empty() {
                     0.0
                 } else {
@@ -36,11 +62,16 @@ impl AllocationSchedule {
     /// days `p_lo` (the paper recommends 90–99% rather than 100% so
     /// spillover stays estimable).
     pub fn switchback(plan: &[bool], p_hi: f64, p_lo: f64) -> AllocationSchedule {
+        assert!(
+            !plan.is_empty(),
+            "switchback plan must cover at least one day"
+        );
         AllocationSchedule::PerDay(plan.iter().map(|&t| if t { p_hi } else { p_lo }).collect())
     }
 
     /// Event study: `p_lo` before `switch_day`, `p_hi` from it onward.
     pub fn event_study(days: usize, switch_day: usize, p_hi: f64, p_lo: f64) -> AllocationSchedule {
+        assert!(days > 0, "event study must cover at least one day");
         AllocationSchedule::PerDay(
             (0..days)
                 .map(|d| if d >= switch_day { p_hi } else { p_lo })
@@ -50,6 +81,10 @@ impl AllocationSchedule {
 
     /// Gradual deployment: one allocation per stage, one stage per day.
     pub fn gradual(stages: &[f64]) -> AllocationSchedule {
+        assert!(
+            !stages.is_empty(),
+            "gradual deployment needs at least one stage"
+        );
         AllocationSchedule::PerDay(stages.to_vec())
     }
 }
@@ -94,5 +129,42 @@ mod tests {
     fn none_is_zero_everywhere() {
         let s = AllocationSchedule::none();
         assert_eq!(s.allocation(3), 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_working_schedules() {
+        assert!(AllocationSchedule::none().validate().is_ok());
+        assert!(AllocationSchedule::Constant(0.95).validate().is_ok());
+        assert!(AllocationSchedule::PerDay(vec![0.1, 0.9])
+            .validate()
+            .is_ok());
+        assert!(AllocationSchedule::switchback(&[true, false], 0.95, 0.05)
+            .validate()
+            .is_ok());
+    }
+
+    /// Regression: `PerDay(vec![])` used to silently allocate 0.0 on
+    /// every day; it must now fail validation (and the simulators panic
+    /// at construction — see `sim::tests::empty_per_day_schedule_rejected`).
+    #[test]
+    fn validate_rejects_empty_and_out_of_range() {
+        assert!(AllocationSchedule::PerDay(vec![]).validate().is_err());
+        assert!(AllocationSchedule::Constant(1.5).validate().is_err());
+        assert!(AllocationSchedule::Constant(f64::NAN).validate().is_err());
+        assert!(AllocationSchedule::PerDay(vec![0.5, -0.1])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "switchback plan must cover at least one day")]
+    fn empty_switchback_plan_panics() {
+        let _ = AllocationSchedule::switchback(&[], 0.95, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_gradual_panics() {
+        let _ = AllocationSchedule::gradual(&[]);
     }
 }

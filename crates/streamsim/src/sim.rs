@@ -73,12 +73,19 @@ pub struct LinkSim {
 
 impl LinkSim {
     /// Build a link world. `schedule` decides each arriving session's arm.
+    ///
+    /// Panics on an invalid schedule (empty `PerDay`, out-of-range
+    /// allocations — see [`AllocationSchedule::validate`]): an empty
+    /// schedule used to silently run the whole horizon untreated.
     pub fn new(
         cfg: StreamConfig,
         link_id: LinkId,
         schedule: AllocationSchedule,
         seed: u64,
     ) -> LinkSim {
+        if let Err(e) = schedule.validate() {
+            panic!("LinkSim::new: invalid allocation schedule: {e}");
+        }
         let ladder = Ladder::new(cfg.ladder_bps.clone());
         let link = FluidLink::new(cfg.capacity_bps, cfg.base_rtt_s, cfg.queue_capacity_s);
         let demand = DiurnalDemand::paper_week(cfg.peak_arrivals_per_s);
@@ -562,6 +569,19 @@ mod tests {
             assert_eq!(f.throughput_bps.to_bits(), r.throughput_bps.to_bits());
             assert_eq!(f.duration_s.to_bits(), r.duration_s.to_bits());
         }
+    }
+
+    /// Regression: an empty `PerDay` schedule silently allocated 0.0
+    /// forever; construction must now reject it loudly.
+    #[test]
+    #[should_panic(expected = "invalid allocation schedule")]
+    fn empty_per_day_schedule_rejected() {
+        let _ = LinkSim::new(
+            small_cfg(),
+            LinkId::One,
+            AllocationSchedule::PerDay(vec![]),
+            1,
+        );
     }
 
     #[test]

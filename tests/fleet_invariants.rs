@@ -1,0 +1,91 @@
+//! Property tests for the fleet layer: the stratified paired design
+//! must always produce a perfect matching (every participating link in
+//! exactly one pair, one treated and one control per pair) that is
+//! balanced on the stratifying covariate.
+
+use proptest::prelude::*;
+use streamsim::config::StreamConfig;
+use streamsim::fleet::{FleetDesign, LinkPopulation};
+
+fn base() -> StreamConfig {
+    StreamConfig {
+        days: 1,
+        capacity_bps: 50e6,
+        peak_arrivals_per_s: 0.24 * 0.05,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Over arbitrary population shapes and assignment seeds, the
+    /// stratified pairing is a perfect matching: every link except (for
+    /// odd fleets) the sitting-out median appears in exactly one pair,
+    /// each pair holds one treated and one control cluster, and the two
+    /// arms' covariate means are balanced to within the per-pair
+    /// adjacency bound.
+    #[test]
+    fn stratified_pairing_is_a_balanced_perfect_matching(
+        n in 2usize..40,
+        cap_sigma in 0.05f64..0.9,
+        demand_sigma in 0.05f64..0.6,
+        pop_seed in 0u64..1000,
+        assign_seed in 0u64..1000,
+    ) {
+        let base = base();
+        let pop = LinkPopulation {
+            capacity_sigma: cap_sigma,
+            demand_sigma,
+            ..LinkPopulation::moderate(base.clone(), n, pop_seed)
+        };
+        let specs = pop.sample();
+        let design = FleetDesign::StratifiedPairs { p_hi: 0.95, p_lo: 0.05 };
+        let plan = design.plan(&specs, &base, assign_seed);
+
+        // Perfect matching: every link in exactly one pair (odd fleets
+        // sit exactly one link out, and it is untreated).
+        prop_assert_eq!(plan.pairs.len(), n / 2);
+        let mut uses = vec![0usize; n];
+        for &(t, c) in &plan.pairs {
+            uses[t] += 1;
+            uses[c] += 1;
+            prop_assert_eq!(plan.cluster_treated[t], Some(true));
+            prop_assert_eq!(plan.cluster_treated[c], Some(false));
+            prop_assert!(plan.schedules[t].allocation(0) > plan.schedules[c].allocation(0));
+        }
+        let sitting_out = uses.iter().filter(|&&u| u == 0).count();
+        prop_assert_eq!(sitting_out, n % 2);
+        prop_assert!(uses.iter().all(|&u| u <= 1));
+        if n % 2 == 1 {
+            let idx = uses.iter().position(|&u| u == 0).unwrap();
+            prop_assert_eq!(plan.schedules[idx].allocation(0), 0.0);
+        }
+
+        // Covariate balance: partners are adjacent in sorted covariate
+        // order, so the arm-mean gap is at most the mean within-pair
+        // gap, which is itself at most (max − min) / n_pairs. Assert
+        // that bound with a little slack for float accumulation.
+        if !plan.pairs.is_empty() {
+            let load = |i: usize| specs[i].offered_load_index(&base);
+            let t_mean = plan.pairs.iter().map(|&(t, _)| load(t)).sum::<f64>()
+                / plan.pairs.len() as f64;
+            let c_mean = plan.pairs.iter().map(|&(_, c)| load(c)).sum::<f64>()
+                / plan.pairs.len() as f64;
+            let paired: Vec<f64> = plan
+                .pairs
+                .iter()
+                .flat_map(|&(t, c)| [load(t), load(c)])
+                .collect();
+            let max = paired.iter().cloned().fold(f64::MIN, f64::max);
+            let min = paired.iter().cloned().fold(f64::MAX, f64::min);
+            let bound = (max - min) / plan.pairs.len() as f64 + 1e-12;
+            prop_assert!(
+                (t_mean - c_mean).abs() <= bound,
+                "arm covariate gap {} exceeds adjacency bound {}",
+                (t_mean - c_mean).abs(),
+                bound
+            );
+        }
+    }
+}
