@@ -23,16 +23,28 @@ use repro_bench::json::{self, Value};
 /// ratio, before it counts as a regression.
 const ABS_SLACK_S: f64 = 0.05;
 
+/// Peak-RSS gate: fail when a scenario's current peak resident set is
+/// more than this factor above the baseline's…
+const RSS_FACTOR: f64 = 1.5;
+
+/// …and exceeds it by more than this many MB. The absolute slack keeps
+/// small-footprint scenarios (where allocator and runtime baseline
+/// dominate) from flapping on the ratio alone.
+const RSS_SLACK_MB: f64 = 32.0;
+
 /// Scenarios whose *workload* changes under `STREAMSIM_BENCH_QUICK=1`
 /// (not just the sample count), making a quick-vs-full ratio
 /// meaningless. The sim scenarios run identical work in both modes.
-const QUICK_INCOMPARABLE: &[&str] = &["runner_overhead_sweep"];
+/// `fleet_large` shrinks from 10 000×8 to 64×2 links×seeds in quick
+/// mode, so neither its wall clock nor its peak RSS is comparable.
+const QUICK_INCOMPARABLE: &[&str] = &["runner_overhead_sweep", "fleet_large"];
 
-fn scenarios(v: &Value) -> Option<Vec<(String, f64)>> {
+fn scenarios(v: &Value) -> Option<Vec<(String, f64, Option<f64>)>> {
     let obj = v.get("scenarios")?.as_obj()?;
     let mut out = Vec::new();
     for (name, s) in obj {
-        out.push((name.clone(), s.get("median_s")?.as_f64()?));
+        let rss = s.get("peak_rss_mb").and_then(Value::as_f64);
+        out.push((name.clone(), s.get("median_s")?.as_f64()?, rss));
     }
     Some(out)
 }
@@ -77,41 +89,61 @@ fn main() -> ExitCode {
     };
 
     let quick_current = current.get("quick") == Some(&Value::Bool(true));
-    let mut t = Table::new(vec!["scenario", "baseline (s)", "current (s)", "ratio", ""]);
+    let mut t = Table::new(vec![
+        "scenario",
+        "baseline (s)",
+        "current (s)",
+        "ratio",
+        "rss (MB)",
+        "",
+    ]);
     let mut regressions = 0usize;
-    for (name, base_s) in &base {
+    for (name, base_s, base_rss) in &base {
         if quick_current && QUICK_INCOMPARABLE.contains(&name.as_str()) {
             t.row(vec![
                 name.clone(),
                 format!("{base_s:.4}"),
                 "-".into(),
                 "-".into(),
+                "-".into(),
                 "skipped (quick workload differs)".into(),
             ]);
             continue;
         }
-        let Some((_, cur_s)) = cur.iter().find(|(n, _)| n == name) else {
+        let Some((_, cur_s, cur_rss)) = cur.iter().find(|(n, _, _)| n == name) else {
             eprintln!("error: scenario \"{name}\" missing from {current_path}");
             regressions += 1;
             continue;
         };
         let ratio = cur_s / base_s;
-        let regressed = ratio > factor && (cur_s - base_s) > ABS_SLACK_S;
-        regressions += regressed as usize;
+        let slow = ratio > factor && (cur_s - base_s) > ABS_SLACK_S;
+        // Peak-RSS gate: only when both reports measured it (the
+        // baseline may predate the field, or the box may not be linux).
+        let (rss_cell, bloated) = match (base_rss, cur_rss) {
+            (Some(b), Some(c)) => (
+                format!("{b:.0} -> {c:.0}"),
+                *c > b * RSS_FACTOR && (c - b) > RSS_SLACK_MB,
+            ),
+            _ => ("-".into(), false),
+        };
+        regressions += (slow || bloated) as usize;
+        let verdict = match (slow, bloated) {
+            (true, _) => format!("REGRESSION (> {factor:.1}x)"),
+            (false, true) => format!("RSS REGRESSION (> {RSS_FACTOR:.1}x + {RSS_SLACK_MB:.0}MB)"),
+            (false, false) => String::new(),
+        };
         t.row(vec![
             name.clone(),
             format!("{base_s:.4}"),
             format!("{cur_s:.4}"),
             format!("{ratio:.2}x"),
-            if regressed {
-                format!("REGRESSION (> {factor:.1}x)")
-            } else {
-                String::new()
-            },
+            rss_cell,
+            verdict,
         ]);
     }
     println!(
-        "bench regression gate: {} vs {} (fail above {factor:.1}x + {ABS_SLACK_S}s)\n",
+        "bench regression gate: {} vs {} (fail above {factor:.1}x + {ABS_SLACK_S}s wall, \
+         {RSS_FACTOR:.1}x + {RSS_SLACK_MB:.0}MB peak RSS)\n",
         baseline_path, current_path
     );
     println!("{}", t.render());

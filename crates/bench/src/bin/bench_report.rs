@@ -42,6 +42,32 @@ fn time_scenario(reps: usize, mut f: impl FnMut()) -> (f64, usize) {
     (median, samples.len())
 }
 
+/// Reset the process peak-RSS high-water mark so [`peak_rss_mb`] reads
+/// the peak of the *next* scenario, not of everything run so far.
+/// Best-effort: if `/proc/self/clear_refs` is unwritable the subsequent
+/// reading is conservative (includes earlier scenarios).
+#[cfg(target_os = "linux")]
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+#[cfg(not(target_os = "linux"))]
+fn reset_peak_rss() {}
+
+/// Peak resident set size (`VmHWM`) in MB, if the platform exposes it.
+#[cfg(target_os = "linux")]
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_mb() -> Option<f64> {
+    None
+}
+
 use repro_bench::figharness::git_rev;
 
 fn main() {
@@ -50,7 +76,7 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
 
-    let mut rows: Vec<(&str, f64, usize)> = Vec::new();
+    let mut rows: Vec<(&str, f64, usize, Option<f64>)> = Vec::new();
 
     // The two perf_streamsim scenarios (same configs as the bench).
     let small = StreamConfig {
@@ -68,7 +94,7 @@ fn main() {
         );
         std::hint::black_box(sim.run().0.len());
     });
-    rows.push(("one_day_small", m, n));
+    rows.push(("one_day_small", m, n, None));
 
     let default_cfg = StreamConfig::default();
     let (m, n) = time_scenario(reps, || {
@@ -80,7 +106,7 @@ fn main() {
         );
         std::hint::black_box(sim.run().0.len());
     });
-    rows.push(("five_day_default", m, n));
+    rows.push(("five_day_default", m, n, None));
 
     // A small fleet sweep through the link×seed work-stealing scheduler:
     // the fleet layer's hot path (N independent LinkSims + regrouping),
@@ -94,6 +120,7 @@ fn main() {
         p_lo: 0.05,
     };
     let fleet_runner = Runner::with_threads(4);
+    reset_peak_rss();
     let (m, n) = time_scenario(reps, || {
         let runs = fleet_runner.sweep_fleet(&fleet_base, &fleet_specs, &fleet_design, &[1, 2]);
         std::hint::black_box(
@@ -102,7 +129,31 @@ fn main() {
                 .sum::<usize>(),
         );
     });
-    rows.push(("fleet_quick", m, n));
+    rows.push(("fleet_quick", m, n, peak_rss_mb()));
+
+    // The streaming fleet sweep at scale — the memory-bound scenario.
+    // Each link's sessions are folded into moment summaries as the job
+    // finishes, so peak RSS must stay bounded by links, not sessions.
+    // Full mode runs 10 000 links × 8 seeds (minutes of wall clock);
+    // quick mode 64 × 2. One timed sample and no warmup either way: a
+    // warmup pass would pre-touch the allocator high-water mark and
+    // hide exactly the regression the RSS gate exists to catch.
+    let (n_links, n_seeds) = if quick() { (64, 2) } else { (10_000, 8) };
+    let (large_base, large_specs) = repro_bench::fleet_population(n_links, 1, 4242);
+    let large_seeds = repro_bench::derive_seeds(4242, n_seeds);
+    reset_peak_rss();
+    let start = Instant::now();
+    let runs = fleet_runner.sweep_fleet_streaming(
+        &large_base,
+        &large_specs,
+        &fleet_design,
+        &large_seeds,
+        unbiased::fleet::DEFAULT_SKETCH_CAP,
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(runs.iter().map(|r| r.result.n_sessions).sum::<usize>());
+    drop(runs);
+    rows.push(("fleet_large", elapsed, 1, peak_rss_mb()));
 
     // Runner scheduling overhead: a flood of sub-microsecond jobs
     // across an oversubscribed pool, so the measurement is dominated by
@@ -123,7 +174,7 @@ fn main() {
         });
         std::hint::black_box(out.len());
     });
-    rows.push(("runner_overhead_sweep", m, n));
+    rows.push(("runner_overhead_sweep", m, n, None));
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -131,10 +182,13 @@ fn main() {
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"quick\": {},\n", quick()));
     json.push_str("  \"scenarios\": {\n");
-    for (i, (name, median_s, samples)) in rows.iter().enumerate() {
+    for (i, (name, median_s, samples, rss)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let rss_field = rss
+            .map(|mb| format!(", \"peak_rss_mb\": {mb:.1}"))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    \"{name}\": {{ \"median_s\": {median_s:.6}, \"samples\": {samples} }}{comma}\n"
+            "    \"{name}\": {{ \"median_s\": {median_s:.6}, \"samples\": {samples}{rss_field} }}{comma}\n"
         ));
     }
     json.push_str("  }\n}\n");

@@ -5,13 +5,18 @@
 //! (CRV1) intervals, and full aggregation to one mean per link — plus
 //! the between/within-link effect decomposition that explains *why*
 //! clustering matters under interference.
+//!
+//! Runs on the streaming aggregation path: sessions are folded into
+//! per-link moment summaries as each link job finishes, so the sweep's
+//! footprint scales with links, not sessions.
 
 use repro_bench::figharness::{self as fh, fmt_pct, FigureReport};
 use repro_bench::{derive_seeds, fleet_strata_count, fleet_strata_labels, Runner, SeedRun};
-use streamsim::fleet::{FleetDesign, FleetLinkRun, FleetRun};
+use streamsim::fleet::FleetDesign;
 use streamsim::session::Metric;
 use unbiased::fleet::{
-    aggregation_comparison, control_mean, fleet_between_within, strata, AggregationComparison,
+    aggregation_comparison_summary, control_mean_summary, fleet_between_within_summary,
+    strata_summary, AggregationComparison, FleetSummary, DEFAULT_SKETCH_CAP,
 };
 
 const METRICS: &[Metric] = &[
@@ -32,24 +37,25 @@ struct SeedEstimates {
     within: Result<f64, String>,
 }
 
-fn estimate_seed(run: &FleetRun) -> SeedEstimates {
-    let links: Vec<&FleetLinkRun> = run.links.iter().collect();
+fn estimate_seed(summary: &FleetSummary) -> SeedEstimates {
+    let links = summary.link_refs();
     let comparisons = METRICS
         .iter()
         .map(|&m| {
-            let base = control_mean(&links, m);
-            aggregation_comparison(&links, m, base).map_err(|e| e.to_string())
+            let base = control_mean_summary(&links, m);
+            aggregation_comparison_summary(&links, m, base).map_err(|e| e.to_string())
         })
         .collect();
-    let strata_comparisons = strata(run, fleet_strata_count(run.links.len()))
+    let strata_comparisons = strata_summary(summary, fleet_strata_count(summary.links.len()))
         .into_iter()
         .map(|group| {
-            let base = control_mean(&group, Metric::Throughput);
-            aggregation_comparison(&group, Metric::Throughput, base).map_err(|e| e.to_string())
+            let base = control_mean_summary(&group, Metric::Throughput);
+            aggregation_comparison_summary(&group, Metric::Throughput, base)
+                .map_err(|e| e.to_string())
         })
         .collect();
-    let base = control_mean(&links, Metric::Throughput);
-    let bw = fleet_between_within(&links, Metric::Throughput);
+    let base = control_mean_summary(&links, Metric::Throughput);
+    let bw = fleet_between_within_summary(&links, Metric::Throughput);
     let (between, within) = match bw {
         Ok(bw) => (
             bw.between
@@ -85,7 +91,7 @@ fn main() {
     };
 
     let runs: Vec<SeedRun<SeedEstimates>> = Runner::new()
-        .sweep_fleet(&base, &specs, &design, &seeds)
+        .sweep_fleet_streaming(&base, &specs, &design, &seeds, DEFAULT_SKETCH_CAP)
         .into_iter()
         .map(|r| SeedRun {
             seed: r.seed,

@@ -11,15 +11,20 @@
 //! columns count the replications whose within-seed cluster-robust 95%
 //! CI covers that seed's ground-truth TTE: link-level should cover,
 //! user-level should miss for the congestion-coupled metrics.
+//!
+//! Runs on the streaming aggregation path: each link's sessions are
+//! folded into [`FleetLinkSummary`] moments as the link finishes, so
+//! memory scales with links, not sessions.
 
 use repro_bench::figharness::{self as fh, fmt_pct, FigureReport};
 use repro_bench::{derive_seeds, FigCell, Runner, SeedRun};
 use streamsim::config::StreamConfig;
-use streamsim::fleet::{FleetDesign, FleetLinkRun, FleetRun, LinkSpec};
+use streamsim::fleet::{FleetDesign, LinkSpec};
 use streamsim::session::Metric;
 use unbiased::fleet::{
-    control_mean, ground_truth_tte_from_runs, link_level_effect, strata, user_level_effect,
-    FleetEffect,
+    control_mean_summary, ground_truth_tte_from_summaries, link_level_effect_summary,
+    strata_summary, user_level_effect_summary, FleetEffect, FleetLinkSummary, FleetSummary,
+    DEFAULT_SKETCH_CAP,
 };
 
 const METRICS: &[Metric] = &[
@@ -40,21 +45,21 @@ struct SeedEstimates {
 }
 
 fn estimate_seed(
-    run: &FleetRun,
-    estimator: impl Fn(&[&FleetLinkRun], Metric, f64) -> Result<FleetEffect, String>,
+    summary: &FleetSummary,
+    estimator: impl Fn(&[&FleetLinkSummary], Metric, f64) -> Result<FleetEffect, String>,
 ) -> SeedEstimates {
-    let links: Vec<&FleetLinkRun> = run.links.iter().collect();
+    let links = summary.link_refs();
     let effects = METRICS
         .iter()
         .map(|&m| {
-            let base = control_mean(&links, m);
+            let base = control_mean_summary(&links, m);
             estimator(&links, m, base)
         })
         .collect();
-    let strata_effects = strata(run, fleet_strata_count(run.links.len()))
+    let strata_effects = strata_summary(summary, fleet_strata_count(summary.links.len()))
         .into_iter()
         .map(|group| {
-            let base = control_mean(&group, Metric::Throughput);
+            let base = control_mean_summary(&group, Metric::Throughput);
             estimator(&group, Metric::Throughput, base)
         })
         .collect();
@@ -64,19 +69,19 @@ fn estimate_seed(
     }
 }
 
-/// Run one design across the seeds and reduce each replication to its
-/// estimates immediately, so only one fleet sweep's records are alive
-/// at a time (a 200-link × 8-seed sweep holds ~1M session records).
+/// Run one design across the seeds on the streaming path: the sweep
+/// folds each link's sessions into moment summaries as jobs finish, so
+/// a 200-link × 8-seed sweep never materializes its ~1M session records.
 fn sweep_design(
     runner: &Runner,
     base: &StreamConfig,
     specs: &[LinkSpec],
     design: &FleetDesign,
     seeds: &[u64],
-    estimator: impl Fn(&[&FleetLinkRun], Metric, f64) -> Result<FleetEffect, String>,
+    estimator: impl Fn(&[&FleetLinkSummary], Metric, f64) -> Result<FleetEffect, String>,
 ) -> Vec<SeedRun<SeedEstimates>> {
     runner
-        .sweep_fleet(base, specs, design, seeds)
+        .sweep_fleet_streaming(base, specs, design, seeds, DEFAULT_SKETCH_CAP)
         .into_iter()
         .map(|r| SeedRun {
             seed: r.seed,
@@ -108,25 +113,36 @@ fn main() {
     let seeds = derive_seeds(4041, fh::replications(8));
     let runner = Runner::new();
 
-    let user_est = |links: &[&FleetLinkRun], m: Metric, b: f64| {
-        user_level_effect(links, m, b).map_err(|e| e.to_string())
+    let user_est = |links: &[&FleetLinkSummary], m: Metric, b: f64| {
+        user_level_effect_summary(links, m, b).map_err(|e| e.to_string())
     };
-    let link_est = |links: &[&FleetLinkRun], m: Metric, b: f64| {
-        link_level_effect(links, m, b).map_err(|e| e.to_string())
+    let link_est = |links: &[&FleetLinkSummary], m: Metric, b: f64| {
+        link_level_effect_summary(links, m, b).map_err(|e| e.to_string())
     };
 
     // Counterfactual ground truth per seed: the same fleet (same
-    // per-link seeds) rerun all-treated and all-control. One seed's
-    // pair of counterfactuals is alive at a time — the fleet still
-    // parallelizes across its links, but the ~1M-record 8-seed sweeps
-    // never accumulate. truths[m][seed_idx]: relative TTE per metric.
+    // per-link seeds) rerun all-treated and all-control. Only the two
+    // counterfactual summaries are alive at a time — the TTE needs just
+    // the pooled per-arm moments. truths[m][seed_idx]: relative TTE.
     let mut truths: Vec<Vec<f64>> = vec![Vec::with_capacity(seeds.len()); METRICS.len()];
     for &seed in &seeds {
         let one = [seed];
-        let all_t = runner.sweep_fleet(&base, &specs, &FleetDesign::UserLevel { p: 1.0 }, &one);
-        let all_c = runner.sweep_fleet(&base, &specs, &FleetDesign::UserLevel { p: 0.0 }, &one);
+        let all_t = runner.sweep_fleet_streaming(
+            &base,
+            &specs,
+            &FleetDesign::UserLevel { p: 1.0 },
+            &one,
+            DEFAULT_SKETCH_CAP,
+        );
+        let all_c = runner.sweep_fleet_streaming(
+            &base,
+            &specs,
+            &FleetDesign::UserLevel { p: 0.0 },
+            &one,
+            DEFAULT_SKETCH_CAP,
+        );
         for (mi, &m) in METRICS.iter().enumerate() {
-            let tte = ground_truth_tte_from_runs(&all_t[0].result, &all_c[0].result, m)
+            let tte = ground_truth_tte_from_summaries(&all_t[0].result, &all_c[0].result, m)
                 .unwrap_or(f64::NAN);
             truths[mi].push(tte);
         }

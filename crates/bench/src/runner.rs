@@ -35,6 +35,7 @@ use streamsim::scenario::AllocationSchedule;
 use streamsim::session::{LinkId, SessionRecord};
 use streamsim::sim::{HourlyLinkStats, LinkSim, PairedSim};
 use unbiased::designs::{PairedLinkDesign, PairedOutcome};
+use unbiased::fleet::{FleetLinkSummary, FleetSummary};
 
 /// One replication's outcome, tagged with the seed that produced it.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,6 +166,84 @@ impl Runner {
             .collect()
     }
 
+    /// Run `fold(acc, index, job)` over every job and reduce the
+    /// per-worker partial accumulators with `merge` — the streaming
+    /// counterpart of [`Runner::map`] that never buffers per-job
+    /// results.
+    ///
+    /// Each worker folds the jobs it claims into its own accumulator
+    /// (created by `init`); when the job list is drained the partials
+    /// are merged pairwise. `merge` receives partials in a
+    /// scheduler-dependent order, so it must be associative and
+    /// order-insensitive for deterministic output (the fleet summary
+    /// types guarantee exactly that: concatenation plus set-semantics
+    /// sketch union). `fold` receives the job's index so one
+    /// accumulator can hold slots for several logical groups (e.g. one
+    /// fleet summary per seed).
+    ///
+    /// A panic in any job propagates to the caller once all workers
+    /// have stopped picking up new work.
+    pub fn map_fold<J, A, I, F, M>(&self, jobs: &[J], init: I, fold: F, merge: M) -> A
+    where
+        J: Sync,
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, usize, &J) + Sync,
+        M: Fn(&mut A, A) + Sync,
+    {
+        let n = jobs.len();
+        let workers = self.threads.min(n).max(1);
+        if workers == 1 {
+            let mut acc = init();
+            for (i, job) in jobs.iter().enumerate() {
+                fold(&mut acc, i, job);
+            }
+            return acc;
+        }
+
+        let next = AtomicUsize::new(0);
+        let partials: Mutex<Vec<A>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut acc = init();
+                    let mut claimed = false;
+                    loop {
+                        // Same claim discipline as [`Runner::map`]: the
+                        // stale-counter read only sizes the chunk, the
+                        // fetch_add owns the indices.
+                        let seen = next.load(Ordering::Relaxed);
+                        if seen >= n {
+                            break;
+                        }
+                        let chunk = ((n - seen) / (2 * workers)).max(MIN_CHUNK);
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, job) in jobs[start..end].iter().enumerate() {
+                            fold(&mut acc, start + i, job);
+                        }
+                        claimed = true;
+                    }
+                    // Workers that never claimed work contribute nothing;
+                    // dropping their empty accumulator keeps `merge` from
+                    // having to handle identity elements.
+                    if claimed {
+                        partials.lock().unwrap().push(acc);
+                    }
+                });
+            }
+        });
+        let mut it = partials.into_inner().unwrap().into_iter();
+        let mut acc = it.next().unwrap_or_else(&init);
+        for partial in it {
+            merge(&mut acc, partial);
+        }
+        acc
+    }
+
     /// Run `scenario(cfg, seed)` once per seed, in parallel; results
     /// come back in seed-list order and are identical to running the
     /// seeds sequentially.
@@ -292,23 +371,90 @@ impl Runner {
     ) -> Vec<SeedRun<FleetRun>> {
         // Plans and per-link seeds are cheap and deterministic; derive
         // them up front so the parallel phase is pure simulation.
-        let mut per_seed_pairs = Vec::with_capacity(seeds.len());
-        let mut jobs: Vec<FleetLinkJob> = Vec::with_capacity(seeds.len() * specs.len());
-        for &seed in seeds {
-            let (seed_jobs, pairs) = FleetSim::new(base, specs, design, seed).into_parts();
-            per_seed_pairs.push(pairs);
-            jobs.extend(seed_jobs);
-        }
+        let (jobs, per_seed_pairs) = fleet_jobs(base, specs, design, seeds);
         let link_runs = self.map(&jobs, run_fleet_link);
         let mut it = link_runs.into_iter();
-        seeds
+        let runs: Vec<SeedRun<FleetRun>> = seeds
             .iter()
             .zip(per_seed_pairs)
             .map(|(&seed, pairs)| {
                 let links: Vec<FleetLinkRun> = it.by_ref().take(specs.len()).collect();
+                assert_eq!(
+                    links.len(),
+                    specs.len(),
+                    "fleet seed {seed}: regrouped {} runs for {} specs",
+                    links.len(),
+                    specs.len()
+                );
                 SeedRun {
                     seed,
                     result: FleetRun { links, pairs },
+                }
+            })
+            .collect();
+        assert!(it.next().is_none(), "fleet sweep left unconsumed link runs");
+        runs
+    }
+
+    /// [`Runner::sweep_fleet`] with bounded memory: every finished link
+    /// job is folded into a mergeable [`FleetSummary`] on the worker
+    /// that ran it (via [`Runner::map_fold`]) and its session records
+    /// are dropped immediately, so peak memory scales with links ×
+    /// seeds, not total sessions. `sketch_cap` bounds the per-metric
+    /// quantile sketches (see `unbiased::fleet::DEFAULT_SKETCH_CAP`).
+    ///
+    /// Results are bit-identical to folding a sequential
+    /// [`FleetSim::run`]'s links in link order — per-link statistics are
+    /// accumulated wholly within one job, partials only concatenate
+    /// links (sorted at finalize) and union sketches (set semantics), so
+    /// the work-stealing schedule cannot leak into the output
+    /// (`crates/bench/tests/fleet_streaming.rs` asserts the parity
+    /// against the record-based oracle).
+    pub fn sweep_fleet_streaming(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        seeds: &[u64],
+        sketch_cap: usize,
+    ) -> Vec<SeedRun<FleetSummary>> {
+        let per_seed = specs.len();
+        let (jobs, per_seed_pairs) = fleet_jobs(base, specs, design, seeds);
+        let summaries = self.map_fold(
+            &jobs,
+            || {
+                (0..seeds.len())
+                    .map(|_| FleetSummary::new(sketch_cap))
+                    .collect::<Vec<_>>()
+            },
+            |acc, idx, job| {
+                let run = run_fleet_link(job);
+                // Jobs are laid out seed-major, exactly `per_seed` each
+                // (asserted in `fleet_jobs`).
+                acc[idx / per_seed].fold(FleetLinkSummary::from_run(&run, sketch_cap));
+            },
+            |acc, partial| {
+                for (mine, theirs) in acc.iter_mut().zip(partial) {
+                    mine.merge(theirs);
+                }
+            },
+        );
+        seeds
+            .iter()
+            .zip(summaries)
+            .zip(per_seed_pairs)
+            .map(|((&seed, mut summary), pairs)| {
+                assert_eq!(
+                    summary.links.len(),
+                    per_seed,
+                    "fleet seed {seed}: folded {} links for {} specs",
+                    summary.links.len(),
+                    per_seed
+                );
+                summary.finalize(pairs);
+                SeedRun {
+                    seed,
+                    result: summary,
                 }
             })
             .collect()
@@ -331,6 +477,35 @@ impl Runner {
 /// One paired-baseline replication: session records from both links
 /// plus per-link hourly statistics.
 pub type PairedBaselineRun = (Vec<SessionRecord>, [Vec<HourlyLinkStats>; 2]);
+
+/// Derive the flat seed-major link×seed job list plus each seed's pair
+/// matching. Both fleet sweeps regroup results by slicing this list in
+/// `specs.len()` strides, so a plan that emitted a different job count
+/// (e.g. a future design sitting out an odd link) would silently
+/// misalign every subsequent seed — assert the invariant per seed here
+/// instead.
+fn fleet_jobs(
+    base: &StreamConfig,
+    specs: &[LinkSpec],
+    design: &FleetDesign,
+    seeds: &[u64],
+) -> (Vec<FleetLinkJob>, Vec<Vec<(usize, usize)>>) {
+    let mut per_seed_pairs = Vec::with_capacity(seeds.len());
+    let mut jobs: Vec<FleetLinkJob> = Vec::with_capacity(seeds.len() * specs.len());
+    for &seed in seeds {
+        let (seed_jobs, pairs) = FleetSim::new(base, specs, design, seed).into_parts();
+        assert_eq!(
+            seed_jobs.len(),
+            specs.len(),
+            "fleet seed {seed}: plan emitted {} jobs for {} specs — seed-major regrouping would misalign results",
+            seed_jobs.len(),
+            specs.len()
+        );
+        per_seed_pairs.push(pairs);
+        jobs.extend(seed_jobs);
+    }
+    (jobs, per_seed_pairs)
+}
 
 /// Cross-seed summary of one scalar metric: mean across replications
 /// with a Student-t confidence interval on that mean.
@@ -421,6 +596,63 @@ mod tests {
         });
         assert_eq!(out, (0..1777).map(|j| j * 3).collect::<Vec<_>>());
         assert_eq!(calls.into_inner(), 1777);
+    }
+
+    #[test]
+    fn map_fold_matches_sequential_fold() {
+        let jobs: Vec<u64> = (0..1000).collect();
+        // Commutative fold (sum + count) so any partial merge order is
+        // exact.
+        let run = |threads: usize| {
+            Runner::with_threads(threads).map_fold(
+                &jobs,
+                || (0u64, 0usize),
+                |acc, idx, &j| {
+                    acc.0 += j * (idx as u64 + 1);
+                    acc.1 += 1;
+                },
+                |acc, other| {
+                    acc.0 += other.0;
+                    acc.1 += other.1;
+                },
+            )
+        };
+        let seq = run(1);
+        assert_eq!(seq.1, 1000);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), seq);
+        }
+        // Empty job list returns the identity accumulator.
+        let empty =
+            Runner::with_threads(4).map_fold(&Vec::<u64>::new(), || 7u64, |_, _, _| {}, |_, _| {});
+        assert_eq!(empty, 7);
+    }
+
+    #[test]
+    fn map_fold_receives_every_index_once() {
+        let jobs: Vec<u64> = (0..333).collect();
+        let mut seen = Runner::with_threads(5).map_fold(
+            &jobs,
+            Vec::new,
+            |acc: &mut Vec<usize>, idx, _| acc.push(idx),
+            |acc, other| acc.extend(other),
+        );
+        seen.sort_unstable();
+        assert_eq!(seen, (0..333).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn map_fold_panic_propagates() {
+        Runner::with_threads(2).map_fold(
+            &[1u64, 2, 3, 4],
+            || 0u64,
+            |acc, _, &j| {
+                assert!(j != 3, "boom");
+                *acc += j;
+            },
+            |acc, other| *acc += other,
+        );
     }
 
     #[test]

@@ -20,6 +20,18 @@
 //! * [`ground_truth_tte`] — the simulator's privilege: rerun the same
 //!   fleet all-treated and all-control and difference the means, the
 //!   estimand both designs are trying to recover.
+//!
+//! Every estimator also has a streaming twin in [`summary`] that works
+//! from mergeable per-link sufficient statistics instead of session
+//! records; this record-based path is kept as its equivalence oracle.
+
+pub mod summary;
+
+pub use summary::{
+    aggregation_comparison_summary, control_mean_summary, fleet_between_within_summary,
+    ground_truth_tte_from_summaries, link_level_effect_summary, paired_effect_summary,
+    strata_summary, user_level_effect_summary, FleetLinkSummary, FleetSummary, DEFAULT_SKETCH_CAP,
+};
 
 use causal::estimators::{between_within, BetweenWithin, ClusterCell};
 use expstats::dist::t_critical;
@@ -417,7 +429,7 @@ mod tests {
     use super::*;
     use streamsim::fleet::LinkPopulation;
 
-    fn small_base() -> StreamConfig {
+    pub(crate) fn small_base() -> StreamConfig {
         StreamConfig {
             days: 1,
             capacity_bps: 30e6,

@@ -1,6 +1,7 @@
 //! Two-sample inference: the unit-level analysis used for naïve A/B test
 //! estimates (difference in means with Welch standard errors).
 
+use crate::accum::WelfordCell;
 use crate::describe::{mean, variance};
 use crate::dist::{t_cdf, t_critical};
 use crate::{Result, StatsError};
@@ -46,9 +47,32 @@ impl DiffEstimate {
 /// Welch two-sample comparison: difference in means with unequal-variance
 /// standard errors and Welch–Satterthwaite degrees of freedom.
 pub fn diff_in_means(treat: &[f64], control: &[f64], level: f64) -> Result<DiffEstimate> {
-    if treat.len() < 2 || control.len() < 2 {
+    diff_in_means_moments(
+        treat.len(),
+        mean(treat),
+        variance(treat),
+        control.len(),
+        mean(control),
+        variance(control),
+        level,
+    )
+}
+
+/// Welch comparison from summary moments `(n, mean, variance)` of each
+/// sample — the streaming-path entry point. [`diff_in_means`] delegates
+/// here, so both paths share the same formulas exactly.
+pub fn diff_in_means_moments(
+    n_t: usize,
+    mean_t: f64,
+    var_t: f64,
+    n_c: usize,
+    mean_c: f64,
+    var_c: f64,
+    level: f64,
+) -> Result<DiffEstimate> {
+    if n_t < 2 || n_c < 2 {
         return Err(StatsError::TooFewObservations {
-            got: treat.len().min(control.len()),
+            got: n_t.min(n_c),
             need: 2,
         });
     }
@@ -57,9 +81,9 @@ pub fn diff_in_means(treat: &[f64], control: &[f64], level: f64) -> Result<DiffE
             context: "level must be in (0,1)",
         });
     }
-    let (nt, nc) = (treat.len() as f64, control.len() as f64);
-    let (vt, vc) = (variance(treat), variance(control));
-    let est = mean(treat) - mean(control);
+    let (nt, nc) = (n_t as f64, n_c as f64);
+    let (vt, vc) = (var_t, var_c);
+    let est = mean_t - mean_c;
     let se2 = vt / nt + vc / nc;
     let se = se2.sqrt();
     // Welch–Satterthwaite.
@@ -75,6 +99,23 @@ pub fn diff_in_means(treat: &[f64], control: &[f64], level: f64) -> Result<DiffE
         ci: (est - t * se, est + t * se),
         dof,
     })
+}
+
+/// Welch comparison between two streaming [`WelfordCell`]s.
+pub fn diff_in_means_cells(
+    treat: &WelfordCell,
+    control: &WelfordCell,
+    level: f64,
+) -> Result<DiffEstimate> {
+    diff_in_means_moments(
+        treat.n as usize,
+        treat.mean,
+        treat.variance(),
+        control.n as usize,
+        control.mean,
+        control.variance(),
+        level,
+    )
 }
 
 /// Result of a hypothesis test.

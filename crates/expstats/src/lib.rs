@@ -19,7 +19,9 @@
 //! * power / sample-size calculations used to size switchback intervals —
 //!   [`power`],
 //! * autocovariance utilities and automatic HAC lag selection —
-//!   [`timeseries`].
+//!   [`timeseries`],
+//! * mergeable one-pass accumulators (Welford cells, normal-equation OLS,
+//!   CRV1 cluster state) for streaming fleet aggregation — [`accum`].
 //!
 //! The Rust statistics ecosystem is young; implementing these ~15 routines
 //! directly keeps the workspace dependency-free and lets us property-test
@@ -28,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accum;
 pub mod bootstrap;
 pub mod describe;
 pub mod dist;
@@ -40,8 +43,12 @@ pub mod rng;
 pub mod table;
 pub mod timeseries;
 
+pub use accum::{ClusterOlsAccum, OlsAccum, WelfordCell};
 pub use describe::{mean, stddev, variance, Summary};
-pub use infer::{columnwise_mean_ci, diff_in_means, mean_ci, welch_t_test, DiffEstimate};
+pub use infer::{
+    columnwise_mean_ci, diff_in_means, diff_in_means_cells, diff_in_means_moments, mean_ci,
+    welch_t_test, DiffEstimate,
+};
 pub use linalg::Matrix;
 pub use ols::{CovEstimator, Ols, OlsFit};
 

@@ -29,12 +29,26 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Quantile of an unsorted sample (copies and sorts internally).
+///
+/// Rejects non-finite observations (NaN would otherwise poison the sort
+/// order silently) and out-of-range `q` with [`StatsError`] instead of
+/// panicking, so a single bad session metric cannot take down a sweep.
 pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
     if xs.is_empty() {
         return Err(StatsError::TooFewObservations { got: 0, need: 1 });
     }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            context: "quantile: q must be in [0,1]",
+        });
+    }
+    if xs.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            context: "quantile: non-finite value in sample",
+        });
+    }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    v.sort_by(f64::total_cmp);
     Ok(quantile_sorted(&v, q))
 }
 
@@ -90,7 +104,7 @@ pub fn quantile_effect(
         }
         effects.push(quantile(&buf_t, q)? - quantile(&buf_c, q)?);
     }
-    effects.sort_by(|a, b| a.partial_cmp(b).expect("NaN in bootstrap"));
+    effects.sort_by(f64::total_cmp);
     let lo = quantile_sorted(&effects, 0.025);
     let hi = quantile_sorted(&effects, 0.975);
     Ok(QuantileEffect {
@@ -149,5 +163,30 @@ mod tests {
     fn effect_rejects_bad_input() {
         assert!(quantile_effect(&[1.0], &[1.0, 2.0], 0.5, 10, 0).is_err());
         assert!(quantile_effect(&[1.0, 2.0], &[1.0, 2.0], 1.5, 10, 0).is_err());
+    }
+
+    #[test]
+    fn quantile_rejects_nan_instead_of_panicking() {
+        // Regression: this used to panic inside sort_by via
+        // `partial_cmp(..).expect("NaN in sample")`.
+        let xs = [1.0, f64::NAN, 3.0];
+        assert_eq!(
+            quantile(&xs, 0.5),
+            Err(StatsError::InvalidParameter {
+                context: "quantile: non-finite value in sample",
+            })
+        );
+        assert!(quantile(&[1.0, f64::INFINITY], 0.5).is_err());
+        assert!(quantile(&[1.0, 2.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn quantile_effect_rejects_nan_sample() {
+        // A NaN session metric (e.g. play delay of a cancelled session)
+        // must surface as an error, not a panic mid-bootstrap.
+        let treat = [1.0, f64::NAN, 3.0];
+        let control = [1.0, 2.0, 3.0];
+        assert!(quantile_effect(&treat, &control, 0.5, 10, 0).is_err());
+        assert!(quantile_effect(&control, &treat, 0.5, 10, 0).is_err());
     }
 }

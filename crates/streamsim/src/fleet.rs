@@ -54,6 +54,27 @@ pub struct LinkSpec {
 }
 
 impl LinkSpec {
+    /// Check the spec is physically meaningful: every field finite and
+    /// strictly positive. A NaN or zero capacity would otherwise flow
+    /// silently into offered-load covariates and session outcomes.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("capacity_bps", self.capacity_bps),
+            ("base_rtt_s", self.base_rtt_s),
+            ("arrival_scale", self.arrival_scale),
+            ("watch_scale", self.watch_scale),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!(
+                    "link {}: {name} must be finite and positive, got {v}",
+                    self.link
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Materialize this link's [`StreamConfig`] from the population base.
     pub fn config(&self, base: &StreamConfig) -> StreamConfig {
         StreamConfig {
@@ -120,15 +141,40 @@ impl LinkPopulation {
         }
     }
 
-    /// Sample the fleet. Deterministic in `self.seed`; link `i`'s draw
-    /// depends only on the seed and `i`'s position in the stream, so
-    /// growing `n_links` keeps the existing links' parameters unchanged.
-    pub fn sample(&self) -> Vec<LinkSpec> {
+    /// Validate the population parameters, panicking on degenerate
+    /// inputs (empty fleet, non-finite or negative sigmas, bad RTT range
+    /// or base capacity) that would otherwise surface only as NaN
+    /// covariates deep in the analysis (mirrors the empty-`PerDay`
+    /// rejection in the scenario layer).
+    pub fn validate(&self) {
         assert!(self.n_links > 0, "fleet must have at least one link");
         assert!(
             self.rtt_range_s.0 > 0.0 && self.rtt_range_s.0 <= self.rtt_range_s.1,
             "RTT range must be positive and ordered"
         );
+        for (name, sigma) in [
+            ("capacity_sigma", self.capacity_sigma),
+            ("demand_sigma", self.demand_sigma),
+            ("watch_sigma", self.watch_sigma),
+        ] {
+            assert!(
+                sigma.is_finite() && sigma >= 0.0,
+                "{name} must be finite and non-negative, got {sigma}"
+            );
+        }
+        assert!(
+            self.base.capacity_bps.is_finite() && self.base.capacity_bps > 0.0,
+            "base capacity must be finite and positive"
+        );
+    }
+
+    /// Sample the fleet. Deterministic in `self.seed`; link `i`'s draw
+    /// depends only on the seed and `i`'s position in the stream, so
+    /// growing `n_links` keeps the existing links' parameters unchanged.
+    ///
+    /// Panics on degenerate parameters (see [`LinkPopulation::validate`]).
+    pub fn sample(&self) -> Vec<LinkSpec> {
+        self.validate();
         let mut rng = SimRng::new(self.seed);
         (0..self.n_links)
             .map(|link| {
@@ -393,7 +439,8 @@ impl FleetSim {
     /// per-link seeds from `seed`.
     ///
     /// Panics if any realized schedule fails
-    /// [`AllocationSchedule::validate`] or `specs` is empty.
+    /// [`AllocationSchedule::validate`], any spec fails
+    /// [`LinkSpec::validate`], or `specs` is empty.
     pub fn new(
         base: &StreamConfig,
         specs: &[LinkSpec],
@@ -401,6 +448,11 @@ impl FleetSim {
         seed: u64,
     ) -> FleetSim {
         assert!(!specs.is_empty(), "fleet must have at least one link");
+        for spec in specs {
+            if let Err(e) = spec.validate() {
+                panic!("FleetSim::new: invalid spec: {e}");
+            }
+        }
         let mut root = SimRng::new(seed);
         let assignment_seed = root.next_u64();
         let plan = design.plan(specs, base, assignment_seed);
@@ -674,6 +726,52 @@ mod tests {
         }
         let frac = treated as f64 / total as f64;
         assert!((frac - 0.3).abs() < 0.04, "treated fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_population_rejected() {
+        let mut pop = small_pop(4);
+        pop.n_links = 0;
+        let _ = pop.sample();
+    }
+
+    #[test]
+    #[should_panic(expected = "demand_sigma")]
+    fn degenerate_population_sigma_rejected() {
+        let mut pop = small_pop(4);
+        pop.demand_sigma = f64::NAN;
+        let _ = pop.sample();
+    }
+
+    #[test]
+    #[should_panic(expected = "RTT range")]
+    fn inverted_rtt_range_rejected() {
+        let mut pop = small_pop(4);
+        pop.rtt_range_s = (0.060, 0.010);
+        let _ = pop.sample();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_specs_rejected() {
+        let _ = FleetSim::new(&small_base(), &[], &FleetDesign::UserLevel { p: 0.5 }, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity_bps")]
+    fn non_finite_spec_rejected() {
+        let mut specs = small_pop(2).sample();
+        specs[1].capacity_bps = f64::NAN;
+        let _ = FleetSim::new(&small_base(), &specs, &FleetDesign::UserLevel { p: 0.5 }, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "watch_scale")]
+    fn negative_spec_scale_rejected() {
+        let mut specs = small_pop(2).sample();
+        specs[0].watch_scale = -0.5;
+        let _ = FleetSim::new(&small_base(), &specs, &FleetDesign::UserLevel { p: 0.5 }, 1);
     }
 
     #[test]
