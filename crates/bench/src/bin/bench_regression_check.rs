@@ -100,13 +100,26 @@ fn main() -> ExitCode {
     let mut regressions = 0usize;
     for (name, base_s, base_rss) in &base {
         if quick_current && QUICK_INCOMPARABLE.contains(&name.as_str()) {
+            // The ratio is meaningless in quick mode, but the scenario
+            // should still *run* — a silent skip would hide a dropped or
+            // renamed bench until the next full baseline refresh.
+            let note = if cur.iter().any(|(n, _, _)| n == name) {
+                "skipped (quick workload differs)"
+            } else {
+                eprintln!(
+                    "warning: quick-incomparable scenario \"{name}\" is in the baseline \
+                     but missing from {current_path} — not gating, but a dropped or \
+                     renamed bench must update the baseline deliberately"
+                );
+                "WARNING: missing from quick report"
+            };
             t.row(vec![
                 name.clone(),
                 format!("{base_s:.4}"),
                 "-".into(),
                 "-".into(),
                 "-".into(),
-                "skipped (quick workload differs)".into(),
+                note.into(),
             ]);
             continue;
         }

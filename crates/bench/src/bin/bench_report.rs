@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use repro_bench::Runner;
 use streamsim::config::StreamConfig;
+use streamsim::engine::EngineBackend;
 use streamsim::scenario::AllocationSchedule;
 use streamsim::session::LinkId;
 use streamsim::sim::LinkSim;
@@ -108,6 +109,21 @@ fn main() {
     });
     rows.push(("five_day_default", m, n, None));
 
+    // The same workload on the hybrid tick/event engine. Records are
+    // bit-identical to the tick run's, so the pair of medians *is* the
+    // engine speedup — measured fresh in the same report, same box,
+    // same build, so the ratio is immune to cross-revision drift.
+    let (m, n) = time_scenario(reps, || {
+        let sim = LinkSim::new(
+            default_cfg.clone(),
+            LinkId::One,
+            AllocationSchedule::Constant(0.5),
+            1,
+        );
+        std::hint::black_box(sim.run_with(EngineBackend::Event).0.len());
+    });
+    rows.push(("five_day_default_event", m, n, None));
+
     // A small fleet sweep through the link×seed work-stealing scheduler:
     // the fleet layer's hot path (N independent LinkSims + regrouping),
     // on the same plant the fleet figures run (`fleet_population`) so
@@ -130,6 +146,26 @@ fn main() {
         );
     });
     rows.push(("fleet_quick", m, n, peak_rss_mb()));
+
+    // The same fleet sweep on the event engine — tracks that the
+    // engine's span bookkeeping stays within the fleet RSS envelope
+    // too (undo logs and span buffers are per-link and bounded).
+    reset_peak_rss();
+    let (m, n) = time_scenario(reps, || {
+        let runs = fleet_runner.sweep_fleet_with(
+            &fleet_base,
+            &fleet_specs,
+            &fleet_design,
+            &[1, 2],
+            EngineBackend::Event,
+        );
+        std::hint::black_box(
+            runs.iter()
+                .map(|r| r.result.total_sessions())
+                .sum::<usize>(),
+        );
+    });
+    rows.push(("fleet_quick_event", m, n, peak_rss_mb()));
 
     // The streaming fleet sweep at scale — the memory-bound scenario.
     // Each link's sessions are folded into moment summaries as the job

@@ -1,0 +1,165 @@
+//! CI gate for the engine exactness contract: run the same scenarios
+//! on the tick and the hybrid tick/event backends and fail on any
+//! divergence — bitwise on session records, ≤1e-9 relative on hourly
+//! statistics.
+//!
+//! Usage: `cargo run --release -p repro-bench --bin engine_parity_check`
+//!
+//! The test suites already prove the contract on randomized configs
+//! (`tests/engine_oracle.rs`); this binary is the cheap always-on CI
+//! variant — two fixed scenarios bracketing the mode space (one mostly
+//! guaranteed-decoupled, one congested with standing queues and
+//! rollbacks), a table of per-scenario outcomes, nonzero exit on the
+//! first mismatch.
+
+use std::process::ExitCode;
+
+use expstats::table::Table;
+use streamsim::engine::EngineBackend;
+use streamsim::scenario::AllocationSchedule;
+use streamsim::session::{LinkId, SessionRecord};
+use streamsim::sim::LinkSim;
+use streamsim::StreamConfig;
+
+/// First field (by name) where two records differ bitwise, if any.
+fn record_mismatch(a: &SessionRecord, b: &SessionRecord) -> Option<&'static str> {
+    if a.link != b.link {
+        return Some("link");
+    }
+    if (a.day, a.hour, a.weekend, a.treated) != (b.day, b.hour, b.weekend, b.treated) {
+        return Some("day/hour/weekend/treated");
+    }
+    let floats = [
+        ("arrival_s", a.arrival_s, b.arrival_s),
+        ("throughput_bps", a.throughput_bps, b.throughput_bps),
+        ("min_rtt_s", a.min_rtt_s, b.min_rtt_s),
+        ("play_delay_s", a.play_delay_s, b.play_delay_s),
+        ("bitrate_bps", a.bitrate_bps, b.bitrate_bps),
+        ("quality", a.quality, b.quality),
+        ("bytes", a.bytes, b.bytes),
+        ("retx_bytes", a.retx_bytes, b.retx_bytes),
+        ("duration_s", a.duration_s, b.duration_s),
+    ];
+    for (name, x, y) in floats {
+        if x.to_bits() != y.to_bits() {
+            return Some(name);
+        }
+    }
+    if (a.rebuffer_count, a.rebuffered, a.cancelled, a.switches)
+        != (b.rebuffer_count, b.rebuffered, b.cancelled, b.switches)
+    {
+        return Some("rebuffer/cancel/switches");
+    }
+    None
+}
+
+/// Run `cfg` through both backends; returns an error description on the
+/// first divergence.
+fn check(cfg: StreamConfig, seed: u64) -> Result<(usize, usize), String> {
+    let schedule = AllocationSchedule::Constant(0.5);
+    let (rt, ht) = LinkSim::new(cfg.clone(), LinkId::One, schedule.clone(), seed).run();
+    let (re, he) = LinkSim::new(cfg, LinkId::One, schedule, seed).run_with(EngineBackend::Event);
+
+    if rt.len() != re.len() {
+        return Err(format!(
+            "record counts differ: {} vs {}",
+            rt.len(),
+            re.len()
+        ));
+    }
+    for (i, (a, b)) in rt.iter().zip(&re).enumerate() {
+        if let Some(field) = record_mismatch(a, b) {
+            return Err(format!("record {i} diverges in `{field}`"));
+        }
+    }
+    if ht.len() != he.len() {
+        return Err(format!(
+            "hourly counts differ: {} vs {}",
+            ht.len(),
+            he.len()
+        ));
+    }
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0);
+    for (a, b) in ht.iter().zip(&he) {
+        if (a.day, a.hour) != (b.day, b.hour) {
+            return Err(format!(
+                "hourly window order diverges at d{} h{}",
+                a.day, a.hour
+            ));
+        }
+        for (name, x, y) in [
+            ("utilization", a.utilization, b.utilization),
+            ("rtt_s", a.rtt_s, b.rtt_s),
+            ("concurrent", a.concurrent, b.concurrent),
+            ("loss", a.loss, b.loss),
+        ] {
+            if !close(x, y) {
+                return Err(format!(
+                    "hourly d{} h{} `{name}` beyond 1e-9: {x} vs {y}",
+                    a.day, a.hour
+                ));
+            }
+        }
+    }
+    Ok((rt.len(), ht.len()))
+}
+
+fn main() -> ExitCode {
+    let scenarios: Vec<(&str, StreamConfig, u64)> = vec![
+        (
+            "one_day_light",
+            StreamConfig {
+                days: 1,
+                capacity_bps: 400e6,
+                peak_arrivals_per_s: 0.24 * 0.05,
+                mean_watch_s: 1500.0,
+                ..Default::default()
+            },
+            11,
+        ),
+        (
+            "one_day_congested",
+            StreamConfig {
+                days: 1,
+                capacity_bps: 200e6,
+                peak_arrivals_per_s: 0.24 * 0.2,
+                mean_watch_s: 1500.0,
+                ..Default::default()
+            },
+            7,
+        ),
+    ];
+
+    let mut t = Table::new(vec!["scenario", "records", "hours", "verdict"]);
+    let mut failures = 0usize;
+    for (name, cfg, seed) in scenarios {
+        match check(cfg, seed) {
+            Ok((records, hours)) => {
+                t.row(vec![
+                    name.into(),
+                    records.to_string(),
+                    hours.to_string(),
+                    "identical".into(),
+                ]);
+            }
+            Err(why) => {
+                failures += 1;
+                eprintln!("error: {name}: {why}");
+                t.row(vec![
+                    name.into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("DIVERGED: {why}"),
+                ]);
+            }
+        }
+    }
+    println!("engine parity gate: tick vs event backend\n");
+    println!("{}", t.render());
+    if failures > 0 {
+        eprintln!("engine_parity_check: {failures} scenario(s) diverged");
+        return ExitCode::FAILURE;
+    }
+    println!("all scenarios bit-identical (hourly within 1e-9)");
+    ExitCode::SUCCESS
+}

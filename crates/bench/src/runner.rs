@@ -28,8 +28,9 @@ use dessim::SimRng;
 use netsim::config::DumbbellConfig;
 use netsim::{run_dumbbell, LabResult};
 use streamsim::config::StreamConfig;
+use streamsim::engine::EngineBackend;
 use streamsim::fleet::{
-    run_fleet_link, FleetDesign, FleetLinkJob, FleetLinkRun, FleetRun, FleetSim, LinkSpec,
+    run_fleet_link_with, FleetDesign, FleetLinkJob, FleetLinkRun, FleetRun, FleetSim, LinkSpec,
 };
 use streamsim::scenario::AllocationSchedule;
 use streamsim::session::{LinkId, SessionRecord};
@@ -369,10 +370,25 @@ impl Runner {
         design: &FleetDesign,
         seeds: &[u64],
     ) -> Vec<SeedRun<FleetRun>> {
+        self.sweep_fleet_with(base, specs, design, seeds, EngineBackend::Tick)
+    }
+
+    /// [`Runner::sweep_fleet`] on a selected engine backend. Session
+    /// records — and with them every fleet estimator — are bit-identical
+    /// across backends (see `streamsim::engine`), so this is a drop-in
+    /// wall-clock lever, not a different experiment.
+    pub fn sweep_fleet_with(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        seeds: &[u64],
+        backend: EngineBackend,
+    ) -> Vec<SeedRun<FleetRun>> {
         // Plans and per-link seeds are cheap and deterministic; derive
         // them up front so the parallel phase is pure simulation.
         let (jobs, per_seed_pairs) = fleet_jobs(base, specs, design, seeds);
-        let link_runs = self.map(&jobs, run_fleet_link);
+        let link_runs = self.map(&jobs, |job| run_fleet_link_with(job, backend));
         let mut it = link_runs.into_iter();
         let runs: Vec<SeedRun<FleetRun>> = seeds
             .iter()
@@ -418,6 +434,20 @@ impl Runner {
         seeds: &[u64],
         sketch_cap: usize,
     ) -> Vec<SeedRun<FleetSummary>> {
+        self.sweep_fleet_streaming_with(base, specs, design, seeds, sketch_cap, EngineBackend::Tick)
+    }
+
+    /// [`Runner::sweep_fleet_streaming`] on a selected engine backend
+    /// (see [`Runner::sweep_fleet_with`] for the exactness contract).
+    pub fn sweep_fleet_streaming_with(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        seeds: &[u64],
+        sketch_cap: usize,
+        backend: EngineBackend,
+    ) -> Vec<SeedRun<FleetSummary>> {
         let per_seed = specs.len();
         let (jobs, per_seed_pairs) = fleet_jobs(base, specs, design, seeds);
         let summaries = self.map_fold(
@@ -428,7 +458,7 @@ impl Runner {
                     .collect::<Vec<_>>()
             },
             |acc, idx, job| {
-                let run = run_fleet_link(job);
+                let run = run_fleet_link_with(job, backend);
                 // Jobs are laid out seed-major, exactly `per_seed` each
                 // (asserted in `fleet_jobs`).
                 acc[idx / per_seed].fold(FleetLinkSummary::from_run(&run, sketch_cap));
@@ -468,8 +498,20 @@ impl Runner {
         link: LinkId,
         seeds: &[u64],
     ) -> Vec<SeedRun<(Vec<SessionRecord>, Vec<HourlyLinkStats>)>> {
+        self.sweep_link_with(cfg, schedule, link, seeds, EngineBackend::Tick)
+    }
+
+    /// [`Runner::sweep_link`] on a selected engine backend.
+    pub fn sweep_link_with(
+        &self,
+        cfg: &StreamConfig,
+        schedule: &AllocationSchedule,
+        link: LinkId,
+        seeds: &[u64],
+        backend: EngineBackend,
+    ) -> Vec<SeedRun<(Vec<SessionRecord>, Vec<HourlyLinkStats>)>> {
         self.sweep(cfg, seeds, |cfg, seed| {
-            LinkSim::new(cfg.clone(), link, schedule.clone(), seed).run()
+            LinkSim::new(cfg.clone(), link, schedule.clone(), seed).run_with(backend)
         })
     }
 }

@@ -80,6 +80,24 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// The earliest pending event without removing it, with its time.
+    /// FIFO tie-breaking applies: this is exactly the event the next
+    /// [`EventQueue::pop`] would return.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
+    /// Remove and return the earliest event only if it is due at or
+    /// before `t` — the "advance the clock to `t`" primitive hybrid
+    /// tick/event drivers drain due events with, leaving the future
+    /// calendar untouched.
+    pub fn pop_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(due) if due <= t => self.pop(),
+            _ => None,
+        }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -160,5 +178,113 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    mod properties {
+        //! Property tests for the determinism contract: the queue drains
+        //! as a *stable* sort by time — events at equal instants pop in
+        //! push order, under any interleaving of pushes and pops. The
+        //! hybrid engine's within-tick ordering (hour flush before
+        //! arrivals) rides on exactly this guarantee.
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Draining a batch of pushes yields the stable time-sort of
+            /// the inputs. Times are drawn from a tiny range so nearly
+            /// every case exercises duplicate timestamps.
+            #[test]
+            fn drain_is_stable_time_sort(times in prop::collection::vec(0u64..8, 1..200)) {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
+                }
+                let mut expect: Vec<(u64, usize)> =
+                    times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+                // `sort_by_key` is stable: ties keep push order, which is
+                // the queue's documented FIFO tie-break.
+                expect.sort_by_key(|&(t, _)| t);
+                prop_assert_eq!(q.len(), expect.len());
+                for &(t, i) in &expect {
+                    let (pt, pi) = q.pop().unwrap();
+                    prop_assert_eq!(pt, SimTime::from_nanos(t));
+                    prop_assert_eq!(pi, i);
+                }
+                prop_assert!(q.pop().is_none());
+                prop_assert_eq!(q.scheduled_total(), times.len() as u64);
+            }
+
+            /// Interleaved pushes and pops match a model that re-sorts
+            /// (stably) on every pop: a pop mid-stream returns the
+            /// earliest (time, push-seq) among events pushed *so far*,
+            /// and later pushes at the same instant never jump ahead.
+            #[test]
+            fn interleaved_push_pop_matches_model(
+                ops in prop::collection::vec((0u64..8, prop::bool::weighted(0.4)), 1..200),
+            ) {
+                let mut q = EventQueue::new();
+                let mut model: Vec<(u64, usize)> = Vec::new();
+                let mut seq = 0usize;
+                for &(t, is_pop) in &ops {
+                    if is_pop {
+                        let got = q.pop();
+                        if model.is_empty() {
+                            prop_assert!(got.is_none());
+                        } else {
+                            let best = *model
+                                .iter()
+                                .min_by_key(|&&(bt, bs)| (bt, bs))
+                                .unwrap();
+                            model.retain(|&e| e != best);
+                            let (pt, ps) = got.unwrap();
+                            prop_assert_eq!(pt, SimTime::from_nanos(best.0));
+                            prop_assert_eq!(ps, best.1);
+                        }
+                    } else {
+                        q.push(SimTime::from_nanos(t), seq);
+                        model.push((t, seq));
+                        seq += 1;
+                    }
+                    match q.peek() {
+                        Some((pt, &pe)) => {
+                            let &(bt, bs) =
+                                model.iter().min_by_key(|&&(bt, bs)| (bt, bs)).unwrap();
+                            prop_assert_eq!(pt, SimTime::from_nanos(bt));
+                            prop_assert_eq!(pe, bs);
+                        }
+                        None => prop_assert!(model.is_empty()),
+                    }
+                }
+            }
+
+            /// `pop_before(t)` drains exactly the due prefix: every event
+            /// at or before `t` in stable order, and never one after it.
+            #[test]
+            fn pop_before_respects_bound(
+                times in prop::collection::vec(0u64..16, 1..100),
+                bound in 0u64..16,
+            ) {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
+                }
+                let cut = SimTime::from_nanos(bound);
+                let mut due: Vec<(u64, usize)> = times
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, t)| t <= bound)
+                    .map(|(i, t)| (t, i))
+                    .collect();
+                due.sort_by_key(|&(t, _)| t);
+                for &(t, i) in &due {
+                    let (pt, pi) = q.pop_before(cut).unwrap();
+                    prop_assert_eq!(pt, SimTime::from_nanos(t));
+                    prop_assert_eq!(pi, i);
+                }
+                prop_assert!(q.pop_before(cut).is_none());
+                prop_assert_eq!(q.len(), times.len() - due.len());
+            }
+        }
     }
 }

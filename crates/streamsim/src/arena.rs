@@ -142,6 +142,176 @@ pub struct ClientArena {
     /// Ticks stepped so far (incremented at the top of
     /// [`ClientArena::step_all`]); see `arrival_tick`.
     tick_count: u64,
+    /// Scratch for the hybrid event engine's decoupled spans: per-tick
+    /// aggregate demand recorded during an optimistic replay (the
+    /// post-hoc validation input — see [`ClientArena::replay_span`]).
+    span_demand: Vec<f64>,
+    /// Scratch: records finished during a replay span, keyed by (global
+    /// finish tick, slot) so commit can restore the tick loop's
+    /// tick-major, slot-ordered append order.
+    span_records: Vec<(u64, u32, SessionRecord)>,
+    /// Scratch: per-span-tick finish counts, maintained while a span
+    /// with folded arrivals replays so each arrival's injection-time
+    /// live-session count — the input to its initial share estimate —
+    /// can be reconstructed in arrival order.
+    finishes_at: Vec<u32>,
+    /// Per-session undo log for optimistic replay rollback.
+    undo: SpanUndo,
+}
+
+/// One arrival folded into a replay span (see
+/// [`ClientArena::replay_span`]): the pre-drawn randomness the tick
+/// loop would have consumed at the arrival tick — the arm Bernoulli and
+/// the forked per-session stream — plus the session's peak demand,
+/// which the engine pre-computed from a clone of `rng` (the first three
+/// `Client::new` draws) to size the span's demand envelope.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanArrival {
+    /// Span-local tick index the session arrives at (it is injected at
+    /// the start of that tick, exactly like the tick loop's arrivals).
+    pub tick: u32,
+    /// Pre-drawn treatment-arm Bernoulli.
+    pub treated: bool,
+    /// The forked per-session RNG, unconsumed.
+    pub rng: SimRng,
+    /// Peak demand the engine derived from a clone of `rng`; the arena
+    /// asserts it against the constructed client (the two must track
+    /// `Client::new`'s draw order together).
+    pub peak: f64,
+}
+
+/// Link-world identity a span's folded arrivals are constructed with:
+/// constant across the span (spans never cross an hour boundary).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanArrivalCtx {
+    pub link_id: LinkId,
+    pub day: usize,
+    pub hour: usize,
+    pub weekend: bool,
+    pub capacity_bps: f64,
+}
+
+/// Snapshot of every column [`ClientArena::replay_span`] can mutate,
+/// taken per live session on entry to an *optimistic* span so a failed
+/// validation can restore the arena to the span boundary exactly.
+/// Columns the replay never writes (peak/access, watch target, carried
+/// min-RTT, arrival/push ticks, chunk params) need no snapshot, and the
+/// arena-global state (tick clock, RTT suffix-min stack, records,
+/// tombstone count) is only mutated at commit, so rollback is purely
+/// this per-session restore.
+#[derive(Debug, Default)]
+struct SpanUndo {
+    idx: Vec<u32>,
+    phase: Vec<Phase>,
+    buffer_s: Vec<f64>,
+    bitrate: Vec<f64>,
+    chunk_noise: Vec<f64>,
+    chunk_progress_s: Vec<f64>,
+    watched_s: Vec<f64>,
+    bytes: Vec<f64>,
+    retx_bytes: Vec<f64>,
+    active_dl_s: Vec<f64>,
+    seg_play_ticks: Vec<u64>,
+    demand: Vec<f64>,
+    throughput_est: Vec<f64>,
+    rng: Vec<SimRng>,
+    cold: Vec<Cold>,
+}
+
+impl SpanUndo {
+    fn clear(&mut self) {
+        self.idx.clear();
+        self.phase.clear();
+        self.buffer_s.clear();
+        self.bitrate.clear();
+        self.chunk_noise.clear();
+        self.chunk_progress_s.clear();
+        self.watched_s.clear();
+        self.bytes.clear();
+        self.retx_bytes.clear();
+        self.active_dl_s.clear();
+        self.seg_play_ticks.clear();
+        self.demand.clear();
+        self.throughput_est.clear();
+        self.rng.clear();
+        self.cold.clear();
+    }
+
+    fn save(&mut self, a: &ClientArena, i: usize) {
+        self.idx.push(i as u32);
+        self.phase.push(a.phase[i]);
+        self.buffer_s.push(a.buffer_s[i]);
+        self.bitrate.push(a.bitrate[i]);
+        self.chunk_noise.push(a.chunk_noise[i]);
+        self.chunk_progress_s.push(a.chunk_progress_s[i]);
+        self.watched_s.push(a.watched_s[i]);
+        self.bytes.push(a.bytes[i]);
+        self.retx_bytes.push(a.retx_bytes[i]);
+        self.active_dl_s.push(a.active_dl_s[i]);
+        self.seg_play_ticks.push(a.seg_play_ticks[i]);
+        self.demand.push(a.demand[i]);
+        self.throughput_est.push(a.throughput_est[i]);
+        self.rng.push(a.rng[i].clone());
+        self.cold.push(a.cold[i].clone());
+    }
+
+    fn restore(&self, a: &mut ClientArena) {
+        for (j, &iu) in self.idx.iter().enumerate() {
+            let i = iu as usize;
+            a.phase[i] = self.phase[j];
+            a.buffer_s[i] = self.buffer_s[j];
+            a.bitrate[i] = self.bitrate[j];
+            a.chunk_noise[i] = self.chunk_noise[j];
+            a.chunk_progress_s[i] = self.chunk_progress_s[j];
+            a.watched_s[i] = self.watched_s[j];
+            a.bytes[i] = self.bytes[j];
+            a.retx_bytes[i] = self.retx_bytes[j];
+            a.active_dl_s[i] = self.active_dl_s[j];
+            a.seg_play_ticks[i] = self.seg_play_ticks[j];
+            a.demand[i] = self.demand[j];
+            a.throughput_est[i] = self.throughput_est[j];
+            a.rng[i] = self.rng[j].clone();
+            a.cold[i] = self.cold[j].clone();
+            // Every snapshotted session was live at span entry; undo any
+            // tombstoning the replayed finishes did.
+            a.dead[i] = false;
+        }
+    }
+}
+
+/// Aggregates of a committed replay span, in the re-associated
+/// (per-session, not per-tick) order the span computes them —
+/// numerically within 1e-9 of the tick loop's per-tick accumulation,
+/// which is the hourly-stats tolerance contract.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanStats {
+    /// Whether any session finished during the span (caller must drop
+    /// finished slots from its allocation order, as after
+    /// [`ClientArena::step_all`]).
+    pub any_finished: bool,
+    /// Σ over sessions of peak demand × ticks spent demanding; divided
+    /// by capacity this is the span's utilization integral (every
+    /// demanding session is served exactly its peak in a decoupled span).
+    pub demand_ticks_bps: f64,
+    /// Σ over ticks of the post-tick live-session count (the
+    /// concurrency integral).
+    pub alive_ticks: u64,
+}
+
+/// Outcome of [`ClientArena::replay_span`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SpanResult {
+    /// Every tick validated (or validation was not requested): session
+    /// state, records, tombstones and the tick clock are committed.
+    Committed(SpanStats),
+    /// Optimistic validation failed: the carried tick (span-local, the
+    /// first of its kind) saw aggregate demand above the decoupled-fit
+    /// bound, so shares would not have been the identity from that tick
+    /// on. Every session has been restored to span entry and nothing
+    /// was emitted; the caller may salvage the validated prefix (its
+    /// fit is now *proven*, so an unvalidated re-replay commits it)
+    /// and must run the rest coupled.
+    RolledBack(usize),
 }
 
 impl ClientArena {
@@ -327,6 +497,10 @@ impl ClientArena {
             keep: _,
             rtt_min_stack,
             tick_count,
+            span_demand: _,
+            span_records: _,
+            finishes_at: _,
+            undo: _,
         } = self;
         let rtt_min_stack = &rtt_min_stack[..];
         let tick_count = *tick_count;
@@ -537,6 +711,570 @@ impl ClientArena {
             };
         }
         any_finished
+    }
+
+    /// Advance every live session `nows.len() - 1` ticks *decoupled*:
+    /// session-major instead of tick-major, each session stepped with
+    /// its own demand as its share under link conditions frozen at
+    /// `rtt_s` / zero loss. This is the hybrid event engine's span
+    /// primitive (see [`crate::engine`]); the caller guarantees the
+    /// decoupled-fit invariant ([`FluidLink::decoupled_fit_bound_bps`]
+    /// — empty queue, aggregate demand under capacity) under which
+    /// water-filling is the identity and the link state is a fixed
+    /// point, so the per-tick arithmetic below — term-for-term the
+    /// [`ClientArena::step_all`] passes with `share == peak demand`,
+    /// `1 - loss == 1.0` — produces bit-identical session trajectories
+    /// and records. Sessions only ever interact through the shared
+    /// link, so reordering tick-major to session-major changes nothing;
+    /// each session's RNG is a private stream, so per-stream draw order
+    /// is preserved too.
+    ///
+    /// `nows[k]` is the simulation time at the *start* of span tick `k`
+    /// — the tick loop's own repeated `now += dt` chain, which the
+    /// caller extends rather than recomputes so the floats match
+    /// bitwise; tick `k` sees `now_s = nows[k + 1]` in its phase pass,
+    /// exactly like the coupled loop.
+    ///
+    /// With `validate_below = Some(bound)` the span is *optimistic*:
+    /// the caller could not prove the fit from peak demands alone, so
+    /// per-tick aggregate demand is accumulated during the replay and
+    /// checked afterwards. On violation every session is restored from
+    /// an undo log, nothing is emitted, and
+    /// [`SpanResult::RolledBack`] tells the caller to re-run the span
+    /// coupled. With `None` the fit is guaranteed (aggregate *peak*
+    /// demand fits, and demand never exceeds peak), so the undo log and
+    /// validation are skipped.
+    ///
+    /// `arrivals` (span-local tick order, pre-drawn randomness — see
+    /// [`SpanArrival`]) are *folded into* the span: after every
+    /// pre-existing session has replayed (wave 1), each arrival is
+    /// constructed at its arrival tick with the exact live-session
+    /// count the tick loop would have seen — reconstructed from wave
+    /// 1's per-tick finish counts plus earlier arrivals' — injected at
+    /// the arena tail (the tick loop's slot order), and replayed over
+    /// the rest of the span (wave 2). Wave 2 runs in arrival order, so
+    /// an earlier arrival's mid-span finish is visible to a later
+    /// arrival's live count, exactly as in the coupled loop.
+    ///
+    /// On commit, finished sessions' records land in `records` in
+    /// (finish tick, slot) order — the tick loop's append order — their
+    /// slots are flagged in `finished` (grown past the entry population
+    /// by one slot per folded arrival) and tombstoned, and the tick
+    /// clock and RTT suffix-min stack advance by the whole span in one
+    /// transaction. The caller must add surviving arrivals to its
+    /// allocation order. On rollback `records` is untouched, `finished`
+    /// is meaningless, and the injected arrivals are truncated away —
+    /// the caller may salvage the prefix before the failing tick with
+    /// an unvalidated re-replay (its fit is proven by the very
+    /// validation that failed later) and re-runs the rest coupled,
+    /// re-injecting from the same pre-drawn `arrivals`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn replay_span(
+        &mut self,
+        cfg: &StreamConfig,
+        ladder: &Ladder,
+        rtt_s: f64,
+        nows: &[f64],
+        dt_s: f64,
+        validate_below: Option<f64>,
+        arrivals: &[SpanArrival],
+        actx: &SpanArrivalCtx,
+        records: &mut Vec<SessionRecord>,
+        finished: &mut Vec<bool>,
+    ) -> SpanResult {
+        let span = nows.len() - 1;
+        let base_n = self.len();
+        let base_live = self.live_sessions();
+        debug_assert!(span > 0, "empty replay span");
+        debug_assert_eq!(ladder.rates(), &cfg.ladder_bps[..]);
+        let start_tick = self.tick_count;
+        let validating = validate_below.is_some();
+        let track_finishes = !arrivals.is_empty();
+
+        let mut span_records = std::mem::take(&mut self.span_records);
+        span_records.clear();
+        let mut undo = std::mem::take(&mut self.undo);
+        undo.clear();
+        let mut span_demand = std::mem::take(&mut self.span_demand);
+        if validating {
+            span_demand.clear();
+            span_demand.resize(span, 0.0);
+        }
+        let mut finishes_at = std::mem::take(&mut self.finishes_at);
+        if track_finishes {
+            finishes_at.clear();
+            finishes_at.resize(span, 0);
+        }
+
+        finished.clear();
+        finished.resize(base_n, false);
+
+        let mut any_finished = false;
+        let mut demand_ticks_bps = 0.0f64;
+        let mut alive_ticks = 0u64;
+        let mut finished_now = 0usize;
+
+        // Wave 1: every pre-existing live session replays the whole
+        // span.
+        for (i, fin) in finished.iter_mut().enumerate() {
+            if self.dead[i] {
+                continue; // tombstone awaiting compaction
+            }
+            if validating {
+                undo.save(self, i);
+            }
+            let (demanding, done_at) = self.replay_one(
+                cfg,
+                ladder,
+                rtt_s,
+                nows,
+                dt_s,
+                start_tick,
+                i,
+                0,
+                validating,
+                &mut span_demand,
+                &mut span_records,
+            );
+            demand_ticks_bps += self.peak_demand[i] * demanding as f64;
+            if let Some((k_done, _)) = done_at {
+                alive_ticks += k_done as u64;
+                *fin = true;
+                finished_now += 1;
+                any_finished = true;
+                if track_finishes {
+                    finishes_at[k_done] += 1;
+                }
+            } else {
+                alive_ticks += span as u64;
+            }
+        }
+
+        // Wave 2: folded arrivals, in arrival order. `live` tracks the
+        // live-session count at the walk position — the value
+        // `LinkSim`'s tick would read for the initial-share estimate —
+        // by subtracting finish counts as the walk passes their ticks.
+        // Same-tick arrivals share one count taken *before* any of them
+        // is injected, exactly like the tick loop's single
+        // `share_now` read per tick.
+        let mut live = base_live;
+        let mut fin_cursor = 0usize;
+        let mut j = 0usize;
+        while j < arrivals.len() {
+            let ka = arrivals[j].tick as usize;
+            debug_assert!(ka < span, "arrival beyond span");
+            while fin_cursor < ka {
+                live -= finishes_at[fin_cursor] as usize;
+                fin_cursor += 1;
+            }
+            let share_now = actx.capacity_bps / (live as f64 + 1.0).max(1.0);
+            let mut g = j;
+            while g < arrivals.len() && arrivals[g].tick as usize == ka {
+                g += 1;
+            }
+            for a in &arrivals[j..g] {
+                let client = Client::new(
+                    cfg,
+                    ladder,
+                    actx.link_id,
+                    actx.day,
+                    actx.hour,
+                    actx.weekend,
+                    nows[ka],
+                    a.treated,
+                    share_now.min(cfg.session_max_bps),
+                    a.rng.clone(),
+                );
+                let idx = self.len();
+                // Push as of the arrival tick so the slot's push/arrival
+                // tick stamps (min-RTT window start, ticks-alive base)
+                // match the tick loop's; the span clock itself advances
+                // only at commit.
+                self.tick_count = start_tick + ka as u64;
+                self.push(cfg, client);
+                self.tick_count = start_tick;
+                debug_assert_eq!(
+                    self.peak_demand[idx].to_bits(),
+                    a.peak.to_bits(),
+                    "pre-scan peak diverged from Client::new draw order"
+                );
+                finished.push(false);
+                let (demanding, done_at) = self.replay_one(
+                    cfg,
+                    ladder,
+                    rtt_s,
+                    nows,
+                    dt_s,
+                    start_tick,
+                    idx,
+                    ka,
+                    validating,
+                    &mut span_demand,
+                    &mut span_records,
+                );
+                demand_ticks_bps += self.peak_demand[idx] * demanding as f64;
+                if let Some((k_done, _)) = done_at {
+                    alive_ticks += (k_done - ka) as u64;
+                    finished[idx] = true;
+                    finished_now += 1;
+                    any_finished = true;
+                    finishes_at[k_done] += 1;
+                } else {
+                    alive_ticks += (span - ka) as u64;
+                }
+            }
+            live += g - j;
+            j = g;
+        }
+        let failed = if validating {
+            let bound = validate_below.unwrap();
+            span_demand[..span].iter().position(|&d| d > bound)
+        } else {
+            None
+        };
+        let result = if let Some(kf) = failed {
+            // Injected arrivals sit at the tail (pushed after the wave-1
+            // snapshot); drop them first, then restore the snapshotted
+            // sessions in place.
+            self.truncate_to(base_n);
+            undo.restore(self);
+            SpanResult::RolledBack(kf)
+        } else {
+            // Commit the arena-global state in one transaction. The RTT
+            // suffix-min stack update is `span` identical per-tick pushes
+            // collapsed into one: the first push (tick `start + 1`) pops
+            // every entry with a value ≥ the span RTT and covers from
+            // the earliest tick popped; the rest are no-ops.
+            self.tick_count = start_tick + span as u64;
+            let mut covers_from = start_tick + 1;
+            while let Some(&(t, v)) = self.rtt_min_stack.last() {
+                if v >= rtt_s {
+                    covers_from = t;
+                    self.rtt_min_stack.pop();
+                } else {
+                    break;
+                }
+            }
+            self.rtt_min_stack.push((covers_from, rtt_s));
+            self.dead_count += finished_now;
+            span_records.sort_unstable_by_key(|r| (r.0, r.1));
+            records.extend(span_records.drain(..).map(|r| r.2));
+            SpanResult::Committed(SpanStats {
+                any_finished,
+                demand_ticks_bps,
+                alive_ticks,
+            })
+        };
+        self.span_records = span_records;
+        self.undo = undo;
+        self.span_demand = span_demand;
+        self.finishes_at = finishes_at;
+        result
+    }
+
+    /// Replay one session (slot `i`) over span ticks `[k0, span)`: the
+    /// per-session inner loop of [`ClientArena::replay_span`], shared
+    /// by wave 1 (`k0 == 0`) and wave-2 folded arrivals (`k0` = the
+    /// arrival tick). Writes the final state (and tombstone, on finish)
+    /// back to the columns, pushes any finish record onto
+    /// `span_records`, and returns the ticks spent demanding plus the
+    /// span-local finish tick / cancel flag if the session ended.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_one(
+        &mut self,
+        cfg: &StreamConfig,
+        ladder: &Ladder,
+        rtt_s: f64,
+        nows: &[f64],
+        dt_s: f64,
+        start_tick: u64,
+        i: usize,
+        k0: usize,
+        validating: bool,
+        span_demand: &mut [f64],
+        span_records: &mut Vec<(u64, u32, SessionRecord)>,
+    ) -> (u64, Option<(usize, bool)>) {
+        let span = nows.len() - 1;
+        // Tick-constant factors, as hoisted by `step_all`. Loss is
+        // exactly zero in a decoupled span, so the factors reduce to
+        // `1.0` / the loss floor — spelled the same way so the rounding
+        // is the same.
+        let loss = 0.0;
+        let one_minus_loss = 1.0 - loss;
+        let retx_factor = cfg.loss_floor + loss * cfg.loss_to_retx;
+        let max_buffer_s = cfg.max_buffer_s;
+        let chunk_s = cfg.chunk_s;
+
+        // Load the slot into locals: the whole span runs out of
+        // registers, touching memory only at chunk boundaries (RNG,
+        // cold table) and at the final write-back.
+        let mut phase = self.phase[i];
+        let mut buffer = self.buffer_s[i];
+        let mut bitrate = self.bitrate[i];
+        let mut noise = self.chunk_noise[i];
+        let mut progress = self.chunk_progress_s[i];
+        let access = self.access_bps[i];
+        let mut watched = self.watched_s[i];
+        let watch_target = self.watch_target_s[i];
+        let mut bytes = self.bytes[i];
+        let mut retx = self.retx_bytes[i];
+        let mut active_dl = self.active_dl_s[i];
+        let mut seg_play = self.seg_play_ticks[i];
+        let mut est = self.throughput_est[i];
+        let peak = self.peak_demand[i];
+        let params = self.chunk_params[i];
+        let arrival_s = self.cold[i].arrival_s;
+        let patience_s = self.cold[i].patience_s;
+        let mut demanding = 0u64;
+        let mut done_at: Option<(usize, bool)> = None;
+
+        // The download arithmetic is tick-invariant between chunk
+        // boundaries (noise and bitrate only change there), so the
+        // per-tick products and the share→video division hoist out
+        // of the tick loop: same values, same operations, computed
+        // once per boundary instead of once per tick. `pa` is
+        // `peak.min(access)`, which is `shares[i].min(access_bps[i])`
+        // bitwise since peak ≤ access by construction.
+        let pa = peak.min(access);
+        let mut rate = pa * noise * one_minus_loss;
+        let mut rate_pos = rate > 0.0;
+        let mut payload_bytes = rate * dt_s / 8.0;
+        let mut retx_bytes_tick = payload_bytes * retx_factor;
+        let mut video_s = rate * dt_s / bitrate;
+
+        // The chunk-boundary slow path (pass 2 of the tick): the
+        // session's two draws in per-stream order, then the ABR
+        // bookkeeping, then the refresh of the hoisted download
+        // constants. `$counts_switch` is `phase != Phase::Startup`,
+        // statically known in each phase-specialized loop below.
+        macro_rules! chunk_boundary {
+            ($counts_switch:expr) => {{
+                let z = self.rng[i].standard_normal();
+                let mut next_noise =
+                    dessim::fast_exp(-0.5 * params.sigma * params.sigma + params.sigma * z);
+                if self.rng[i].bernoulli(params.dip_prob) {
+                    next_noise *= 0.12;
+                }
+                progress = 0.0;
+                if rate > 0.0 {
+                    est = 0.8 * est + 0.2 * rate;
+                }
+                let next = ladder.select_from_top(params.permitted, est, cfg.abr_safety);
+                if next != bitrate {
+                    if $counts_switch && (next - bitrate).abs() > 1.0 {
+                        self.cold[i].switches += 1;
+                    }
+                    fold_products(&mut seg_play, bitrate, &mut self.cold[i], dt_s);
+                    bitrate = next;
+                }
+                noise = next_noise;
+                rate = pa * noise * one_minus_loss;
+                rate_pos = rate > 0.0;
+                payload_bytes = rate * dt_s / 8.0;
+                retx_bytes_tick = payload_bytes * retx_factor;
+                video_s = rate * dt_s / bitrate;
+            }};
+        }
+
+        // The tick loop, specialized per phase: each inner loop runs
+        // ticks until the phase changes, the session finishes, or the
+        // span ends. Per tick each loop performs exactly the tick
+        // loop's pass-1/2/3 operations in the tick loop's order —
+        // the specialization only removes the per-tick phase match
+        // and the branches whose outcome the phase decides.
+        let nows_next = &nows[1..];
+        let mut k = k0;
+        'ticks: while k < span {
+            match phase {
+                // Startup downloads unconditionally (not Playing).
+                Phase::Startup => {
+                    while k < span {
+                        let now_next = nows_next[k];
+                        let kt = k;
+                        k += 1;
+                        demanding += 1;
+                        if validating {
+                            span_demand[kt] += peak;
+                        }
+                        let mut at_boundary = false;
+                        if rate_pos {
+                            bytes += payload_bytes;
+                            retx += retx_bytes_tick;
+                            active_dl += dt_s;
+                            buffer += video_s;
+                            progress += video_s;
+                            at_boundary = progress >= chunk_s;
+                        }
+                        if at_boundary {
+                            chunk_boundary!(false);
+                        }
+                        if buffer >= cfg.startup_buffer_s {
+                            phase = Phase::Playing;
+                            self.cold[i].play_delay_s = (now_next - arrival_s) + 3.0 * rtt_s;
+                            continue 'ticks;
+                        }
+                        if now_next - arrival_s > patience_s {
+                            done_at = Some((kt, true));
+                            break 'ticks;
+                        }
+                    }
+                }
+                // The steady state: downloads whenever the buffer
+                // has room.
+                Phase::Playing => {
+                    while k < span {
+                        let kt = k;
+                        k += 1;
+                        if buffer < max_buffer_s {
+                            demanding += 1;
+                            if validating {
+                                span_demand[kt] += peak;
+                            }
+                            if rate_pos {
+                                bytes += payload_bytes;
+                                retx += retx_bytes_tick;
+                                active_dl += dt_s;
+                                buffer += video_s;
+                                progress += video_s;
+                                if progress >= chunk_s {
+                                    chunk_boundary!(true);
+                                }
+                            }
+                        }
+                        watched += dt_s;
+                        buffer -= dt_s;
+                        seg_play += 1;
+                        if buffer <= 0.0 {
+                            buffer = 0.0;
+                            phase = Phase::Rebuffering;
+                            self.cold[i].rebuffer_count += 1;
+                            if watched >= watch_target {
+                                done_at = Some((kt, false));
+                                break 'ticks;
+                            }
+                            continue 'ticks;
+                        }
+                        if watched >= watch_target {
+                            done_at = Some((kt, false));
+                            break 'ticks;
+                        }
+                    }
+                }
+                // Rebuffering downloads unconditionally (not Playing).
+                Phase::Rebuffering => {
+                    while k < span {
+                        let kt = k;
+                        k += 1;
+                        demanding += 1;
+                        if validating {
+                            span_demand[kt] += peak;
+                        }
+                        let mut at_boundary = false;
+                        if rate_pos {
+                            bytes += payload_bytes;
+                            retx += retx_bytes_tick;
+                            active_dl += dt_s;
+                            buffer += video_s;
+                            progress += video_s;
+                            at_boundary = progress >= chunk_s;
+                        }
+                        if at_boundary {
+                            chunk_boundary!(true);
+                        }
+                        if buffer >= cfg.resume_buffer_s {
+                            phase = Phase::Playing;
+                            continue 'ticks;
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some((k_done, cancelled)) = done_at {
+            // The session's min RTT over its observation window: the
+            // window always contains a span tick, whose RTT (base +
+            // empty queue) is the global minimum value, so the
+            // suffix-min stack query the tick loop does reduces to
+            // `rtt_s` exactly.
+            let finish_tick = start_tick + k_done as u64 + 1;
+            let rec = finish_record(
+                FinishSlot {
+                    ticks_alive: finish_tick.wrapping_sub(self.arrival_tick[i]),
+                    watched_s: watched,
+                    active_dl_s: active_dl,
+                    min_rtt_s: self.min_rtt_s[i].min(rtt_s),
+                    bitrate,
+                    seg_play_ticks: &mut seg_play,
+                    bytes,
+                    retx_bytes: &mut retx,
+                    cold: &mut self.cold[i],
+                },
+                cfg,
+                dt_s,
+                nows[k_done + 1],
+                cancelled,
+            );
+            span_records.push((finish_tick, i as u32, rec));
+        }
+
+        // Write the locals back and refresh the demand column from
+        // the final state (the same two-valued rule the tick loop
+        // applies every tick; intermediate values are unobservable
+        // because no other session reads them in a decoupled span).
+        self.phase[i] = phase;
+        self.buffer_s[i] = buffer;
+        self.bitrate[i] = bitrate;
+        self.chunk_noise[i] = noise;
+        self.chunk_progress_s[i] = progress;
+        self.watched_s[i] = watched;
+        self.bytes[i] = bytes;
+        self.retx_bytes[i] = retx;
+        self.active_dl_s[i] = active_dl;
+        self.seg_play_ticks[i] = seg_play;
+        self.throughput_est[i] = est;
+        if done_at.is_some() {
+            self.dead[i] = true;
+            // Dead slots are omitted from the allocation order, whose
+            // contract requires their demand to be zero.
+            self.demand[i] = 0.0;
+        } else {
+            self.demand[i] = if phase == Phase::Playing && buffer >= max_buffer_s {
+                0.0
+            } else {
+                peak
+            };
+        }
+        (demanding, done_at)
+    }
+
+    /// Drop every slot from `n` up: the inverse of the tail pushes a
+    /// rolled-back span's folded arrivals did. None of the removed
+    /// slots is reflected in `dead_count` (a span's finish counts are
+    /// committed in one transaction a rollback never reaches), so only
+    /// the columns shrink.
+    fn truncate_to(&mut self, n: usize) {
+        self.phase.truncate(n);
+        self.buffer_s.truncate(n);
+        self.bitrate.truncate(n);
+        self.chunk_noise.truncate(n);
+        self.chunk_progress_s.truncate(n);
+        self.access_bps.truncate(n);
+        self.watched_s.truncate(n);
+        self.watch_target_s.truncate(n);
+        self.min_rtt_s.truncate(n);
+        self.bytes.truncate(n);
+        self.retx_bytes.truncate(n);
+        self.active_dl_s.truncate(n);
+        self.arrival_tick.truncate(n);
+        self.push_tick.truncate(n);
+        self.seg_play_ticks.truncate(n);
+        self.demand.truncate(n);
+        self.peak_demand.truncate(n);
+        self.throughput_est.truncate(n);
+        self.chunk_params.truncate(n);
+        self.rng.truncate(n);
+        self.dead.truncate(n);
+        self.cold.truncate(n);
     }
 
     /// Whether enough tombstones have accumulated that a compaction

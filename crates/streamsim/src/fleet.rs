@@ -29,6 +29,7 @@
 //! because sessions do not migrate between them.
 
 use crate::config::StreamConfig;
+use crate::engine::EngineBackend;
 use crate::scenario::AllocationSchedule;
 use crate::session::{LinkId, SessionRecord};
 use crate::sim::{HourlyLinkStats, LinkSim};
@@ -407,8 +408,15 @@ impl FleetRun {
 /// Run one link of a fleet to its horizon. This is the kernel the
 /// parallel runner schedules; [`FleetSim::run`] maps it sequentially.
 pub fn run_fleet_link(job: &FleetLinkJob) -> FleetLinkRun {
+    run_fleet_link_with(job, EngineBackend::Tick)
+}
+
+/// [`run_fleet_link`] on a selected engine backend. Session records —
+/// and therefore every fleet estimator — are bit-identical across
+/// backends (see [`crate::engine`]); hourly statistics agree to ≤1e-9.
+pub fn run_fleet_link_with(job: &FleetLinkJob, backend: EngineBackend) -> FleetLinkRun {
     let sim = LinkSim::new(job.cfg.clone(), LinkId::One, job.schedule.clone(), job.seed);
-    let (sessions, hourly) = sim.run();
+    let (sessions, hourly) = sim.run_with(backend);
     FleetLinkRun {
         link: job.link,
         spec: job.spec.clone(),
@@ -496,7 +504,16 @@ impl FleetSim {
     /// Run every link sequentially (the parity oracle for the parallel
     /// sweep).
     pub fn run(self) -> FleetRun {
-        let links = self.jobs.iter().map(run_fleet_link).collect();
+        self.run_with(EngineBackend::Tick)
+    }
+
+    /// [`FleetSim::run`] on a selected engine backend.
+    pub fn run_with(self, backend: EngineBackend) -> FleetRun {
+        let links = self
+            .jobs
+            .iter()
+            .map(|job| run_fleet_link_with(job, backend))
+            .collect();
         FleetRun {
             links,
             pairs: self.pairs,

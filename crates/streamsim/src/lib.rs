@@ -34,6 +34,7 @@ pub mod arena;
 pub mod client;
 pub mod config;
 pub mod demand;
+pub mod engine;
 pub mod fleet;
 pub mod link;
 pub mod scenario;
@@ -42,6 +43,7 @@ pub mod sim;
 
 pub use arena::ClientArena;
 pub use config::StreamConfig;
+pub use engine::EngineBackend;
 pub use fleet::{FleetDesign, FleetRun, FleetSim, LinkPopulation, LinkSpec};
 pub use scenario::AllocationSchedule;
 pub use session::SessionRecord;

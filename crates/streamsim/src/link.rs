@@ -68,6 +68,37 @@ impl FluidLink {
         self.queue_s > 0.25 * self.queue_capacity_s
     }
 
+    /// Current queue depth (seconds of draining at capacity).
+    pub fn queue_depth_s(&self) -> f64 {
+        self.queue_s
+    }
+
+    /// Aggregate demand below which one tick of this link is *exactly*
+    /// the identity allocation, bitwise — the invariant the hybrid
+    /// event engine's decoupled spans rest on. When the queue is empty
+    /// (`queue_depth_s() == 0.0`) and total demand stays at or below
+    /// this bound:
+    ///
+    /// - water-filling serves every session exactly its demand (each
+    ///   ascending-order demand is below the running fair share, with
+    ///   the 1e-6 relative margin dominating the f64 summation error of
+    ///   any realistic population), and its `total`/`served`
+    ///   accumulators — the same adds in the same order — are equal
+    ///   bitwise;
+    /// - hence `overload == 0.0` exactly, the queue update adds `0.0`,
+    ///   subtracts a non-negative slack term and clamps at `0.0`, so
+    ///   the queue stays exactly empty;
+    /// - hence `loss == 0.0` and `rtt_s() == base + 0.0 == base`,
+    ///   bitwise (IEEE-754: `x + 0.0 == x` for finite `x`).
+    ///
+    /// The factors a session multiplies by — `1 - loss == 1.0` and the
+    /// share itself — are therefore bit-identical to a tick where the
+    /// session was allocated alone, which is what lets the event engine
+    /// replay sessions independently between allocation-changing events.
+    pub fn decoupled_fit_bound_bps(&self) -> f64 {
+        self.capacity_bps * (1.0 - 1e-6)
+    }
+
     /// Allocate bandwidth for one tick.
     ///
     /// `demands` are per-session desired rates (bits/s); the result is

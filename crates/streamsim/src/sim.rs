@@ -2,10 +2,11 @@
 //! world ([`PairedSim`]) of §4.
 
 use crate::abr::Ladder;
-use crate::arena::ClientArena;
+use crate::arena::{ClientArena, SpanArrival};
 use crate::client::Client;
 use crate::config::StreamConfig;
 use crate::demand::DiurnalDemand;
+use crate::engine::EngineBackend;
 use crate::link::FluidLink;
 use crate::scenario::AllocationSchedule;
 use crate::session::{LinkId, SessionRecord};
@@ -45,30 +46,32 @@ pub struct HourlyLinkStats {
 /// in `by_peak` order — yields a permutation that sorts the *current*
 /// demands, with zero comparisons of floats that didn't change.
 pub struct LinkSim {
-    cfg: StreamConfig,
-    link_id: LinkId,
-    ladder: Ladder,
-    link: FluidLink,
-    demand: DiurnalDemand,
-    schedule: AllocationSchedule,
-    arena: ClientArena,
-    records: Vec<SessionRecord>,
-    hourly: Vec<HourlyLinkStats>,
+    // Fields are crate-visible so the hybrid tick/event driver in
+    // `crate::engine` can share the tick loop's state verbatim.
+    pub(crate) cfg: StreamConfig,
+    pub(crate) link_id: LinkId,
+    pub(crate) ladder: Ladder,
+    pub(crate) link: FluidLink,
+    pub(crate) demand: DiurnalDemand,
+    pub(crate) schedule: AllocationSchedule,
+    pub(crate) arena: ClientArena,
+    pub(crate) records: Vec<SessionRecord>,
+    pub(crate) hourly: Vec<HourlyLinkStats>,
     // Persistent hot-loop buffers (see struct docs).
-    shares: Vec<f64>,
-    by_peak: Vec<usize>,
-    order: Vec<usize>,
-    finished: Vec<bool>,
-    remap: Vec<usize>,
+    pub(crate) shares: Vec<f64>,
+    pub(crate) by_peak: Vec<usize>,
+    pub(crate) order: Vec<usize>,
+    pub(crate) finished: Vec<bool>,
+    pub(crate) remap: Vec<usize>,
     // Accumulators for the current hour.
-    acc_util: f64,
-    acc_rtt: f64,
-    acc_conc: f64,
-    acc_loss: f64,
-    acc_ticks: usize,
-    current_hour: (usize, usize),
-    now_s: f64,
-    rng: SimRng,
+    pub(crate) acc_util: f64,
+    pub(crate) acc_rtt: f64,
+    pub(crate) acc_conc: f64,
+    pub(crate) acc_loss: f64,
+    pub(crate) acc_ticks: usize,
+    pub(crate) current_hour: (usize, usize),
+    pub(crate) now_s: f64,
+    pub(crate) rng: SimRng,
 }
 
 impl LinkSim {
@@ -140,7 +143,10 @@ impl LinkSim {
         self.arena.push(&self.cfg, client);
     }
 
-    /// Advance one tick.
+    /// Advance one tick of the reference loop: hour rollover, the
+    /// arrival draws (Poisson count, then per-arrival arm Bernoulli and
+    /// RNG fork, in that order — the stream order the hybrid engine's
+    /// pre-scan reproduces), then the shared tick core.
     pub fn step(&mut self) {
         let dt = self.cfg.dt_s;
         let day = DiurnalDemand::day_index(self.now_s);
@@ -175,6 +181,51 @@ impl LinkSim {
             self.inject(client);
         }
 
+        self.tick_core();
+    }
+
+    /// One coupled tick whose arrival randomness was already consumed by
+    /// the hybrid engine's span pre-scan (see [`crate::engine`]): the
+    /// Poisson count, arm Bernoullis and RNG forks for this tick were
+    /// drawn — in the tick loop's own order — while sizing the span, so
+    /// this tick must not touch `self.rng`. Everything else (client
+    /// construction from the pre-drawn draws, injection, the tick core)
+    /// is the verbatim [`LinkSim::step`].
+    pub(crate) fn step_tick_prescanned(&mut self, arrivals: &[SpanArrival]) {
+        let day = DiurnalDemand::day_index(self.now_s);
+        let hour = DiurnalDemand::hour_of_day(self.now_s);
+        if (day, hour) != self.current_hour && self.acc_ticks > 0 {
+            self.flush_hour();
+        }
+        self.current_hour = (day, hour);
+
+        let share_now =
+            self.link.capacity_bps() / (self.arena.live_sessions() as f64 + 1.0).max(1.0);
+        for a in arrivals {
+            let client = Client::new(
+                &self.cfg,
+                &self.ladder,
+                self.link_id,
+                day,
+                hour,
+                self.demand.is_weekend(day),
+                self.now_s,
+                a.treated,
+                share_now.min(self.cfg.session_max_bps),
+                a.rng.clone(),
+            );
+            self.inject(client);
+        }
+
+        self.tick_core();
+    }
+
+    /// The arrival-independent back half of a tick: allocation, the
+    /// arena sweep, finished-slot retirement, hourly accumulators and
+    /// the clock. Shared verbatim by [`LinkSim::step`] and
+    /// [`LinkSim::step_tick_prescanned`].
+    fn tick_core(&mut self) {
+        let dt = self.cfg.dt_s;
         // Bandwidth allocation from the persistent buffers. The demand
         // column was produced incrementally (refreshed in place by last
         // tick's arena pass, appended to by `inject`), and demands are
@@ -248,7 +299,7 @@ impl LinkSim {
         self.now_s += dt;
     }
 
-    fn flush_hour(&mut self) {
+    pub(crate) fn flush_hour(&mut self) {
         let n = self.acc_ticks.max(1) as f64;
         self.hourly.push(HourlyLinkStats {
             day: self.current_hour.0,
@@ -276,6 +327,20 @@ impl LinkSim {
             self.flush_hour();
         }
         (self.records, self.hourly)
+    }
+
+    /// Run to the configured horizon on the selected engine backend.
+    ///
+    /// [`EngineBackend::Tick`] is [`LinkSim::run`]; [`EngineBackend::Event`]
+    /// is the hybrid tick/event driver, which reproduces the tick loop's
+    /// [`SessionRecord`]s bit-identically and its [`HourlyLinkStats`] to
+    /// within a ≤1e-9 relative re-association tolerance (see
+    /// [`crate::engine`] for the invariants).
+    pub fn run_with(self, backend: EngineBackend) -> (Vec<SessionRecord>, Vec<HourlyLinkStats>) {
+        match backend {
+            EngineBackend::Tick => self.run(),
+            EngineBackend::Event => crate::engine::run_event(self),
+        }
     }
 }
 
