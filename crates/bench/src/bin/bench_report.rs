@@ -167,6 +167,37 @@ fn main() {
     });
     rows.push(("fleet_quick_event", m, n, peak_rss_mb()));
 
+    // The same fleet sweep with the robustness layer fully engaged:
+    // telemetry faults on every link (streaming fold) under the
+    // quarantine policy, so the measurement covers the per-record wire
+    // model — severity scoring, duplicate/reorder bookkeeping, receiver
+    // reassembly — plus the `catch_unwind` job isolation quarantine
+    // wraps every job in. Moderate knobs, no crashes: the cost profile
+    // of a realistic lossy fleet, not a worst case.
+    let faults = streamsim::TelemetryFaults {
+        drop_mcar: 0.02,
+        drop_congested: 0.2,
+        duplicate_p: 0.05,
+        corrupt_nan_p: 0.01,
+        reorder_window: 8,
+        ..streamsim::TelemetryFaults::none(77)
+    };
+    reset_peak_rss();
+    let (m, n) = time_scenario(reps, || {
+        let runs = fleet_runner.sweep_fleet_streaming_policy(
+            &fleet_base,
+            &fleet_specs,
+            &fleet_design,
+            &[1, 2],
+            unbiased::fleet::DEFAULT_SKETCH_CAP,
+            EngineBackend::Tick,
+            Some(&faults),
+            repro_bench::FailurePolicy::Quarantine { max_failures: 2 },
+        );
+        std::hint::black_box(runs.iter().map(|r| r.result.n_sessions).sum::<usize>());
+    });
+    rows.push(("fleet_quick_faulty", m, n, peak_rss_mb()));
+
     // The streaming fleet sweep at scale — the memory-bound scenario.
     // Each link's sessions are folded into moment summaries as the job
     // finishes, so peak RSS must stay bounded by links, not sessions.

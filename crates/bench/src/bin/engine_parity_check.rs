@@ -3,7 +3,8 @@
 //! divergence — bitwise on session records, ≤1e-9 relative on hourly
 //! statistics.
 //!
-//! Usage: `cargo run --release -p repro-bench --bin engine_parity_check`
+//! Usage: `cargo run --release -p repro-bench --bin engine_parity_check
+//! [--with-faults]`
 //!
 //! The test suites already prove the contract on randomized configs
 //! (`tests/engine_oracle.rs`); this binary is the cheap always-on CI
@@ -11,6 +12,15 @@
 //! guaranteed-decoupled, one congested with standing queues and
 //! rollbacks), a table of per-scenario outcomes, nonzero exit on the
 //! first mismatch.
+//!
+//! With `--with-faults`, each scenario's record stream is additionally
+//! run through a composite [`TelemetryFaults`] pipeline (MCAR + MNAR
+//! drop, duplication, NaN corruption, reordering, an outage window) on
+//! both backends, and the *delivered* streams plus their
+//! [`streamsim::TelemetryStats`] ledgers must match bitwise too. Faults are
+//! post-engine — a pure function of `(fault seed, link, records)` — so
+//! identical inputs must give identical observed streams; a divergence
+//! here means the fault pipeline leaked backend-dependent state.
 
 use std::process::ExitCode;
 
@@ -19,7 +29,8 @@ use streamsim::engine::EngineBackend;
 use streamsim::scenario::AllocationSchedule;
 use streamsim::session::{LinkId, SessionRecord};
 use streamsim::sim::LinkSim;
-use streamsim::StreamConfig;
+use streamsim::telemetry::OutageWindow;
+use streamsim::{StreamConfig, TelemetryFaults};
 
 /// First field (by name) where two records differ bitwise, if any.
 fn record_mismatch(a: &SessionRecord, b: &SessionRecord) -> Option<&'static str> {
@@ -53,9 +64,31 @@ fn record_mismatch(a: &SessionRecord, b: &SessionRecord) -> Option<&'static str>
     None
 }
 
+/// The composite fault model `--with-faults` pushes each scenario's
+/// records through: every fault class engaged at moderate rates, plus a
+/// mid-morning outage. Fixed seed so CI runs are reproducible.
+fn parity_faults() -> TelemetryFaults {
+    TelemetryFaults {
+        drop_mcar: 0.05,
+        drop_congested: 0.3,
+        duplicate_p: 0.05,
+        corrupt_nan_p: 0.02,
+        reorder_window: 6,
+        outage: Some(OutageWindow {
+            start_s: 30_000.0,
+            end_s: 33_600.0,
+        }),
+        ..TelemetryFaults::none(43)
+    }
+}
+
 /// Run `cfg` through both backends; returns an error description on the
 /// first divergence.
-fn check(cfg: StreamConfig, seed: u64) -> Result<(usize, usize), String> {
+fn check(
+    cfg: StreamConfig,
+    seed: u64,
+    faults: Option<&TelemetryFaults>,
+) -> Result<(usize, usize), String> {
     let schedule = AllocationSchedule::Constant(0.5);
     let (rt, ht) = LinkSim::new(cfg.clone(), LinkId::One, schedule.clone(), seed).run();
     let (re, he) = LinkSim::new(cfg, LinkId::One, schedule, seed).run_with(EngineBackend::Event);
@@ -70,6 +103,32 @@ fn check(cfg: StreamConfig, seed: u64) -> Result<(usize, usize), String> {
     for (i, (a, b)) in rt.iter().zip(&re).enumerate() {
         if let Some(field) = record_mismatch(a, b) {
             return Err(format!("record {i} diverges in `{field}`"));
+        }
+    }
+    if let Some(f) = faults {
+        // Faults are applied post-engine to identical record streams,
+        // so the delivered streams and ledgers must be bit-identical
+        // too — including the NaN bit patterns of corrupted fields.
+        let (da, sa) = f.apply(0, rt.clone());
+        let (db, sb) = f.apply(0, re.clone());
+        if sa != sb {
+            return Err(format!(
+                "telemetry ledgers diverge under faults: {sa:?} vs {sb:?}"
+            ));
+        }
+        if da.len() != db.len() {
+            return Err(format!(
+                "delivered counts differ under faults: {} vs {}",
+                da.len(),
+                db.len()
+            ));
+        }
+        for (i, (a, b)) in da.iter().zip(&db).enumerate() {
+            if let Some(field) = record_mismatch(a, b) {
+                return Err(format!(
+                    "delivered record {i} diverges in `{field}` under faults"
+                ));
+            }
         }
     }
     if ht.len() != he.len() {
@@ -105,6 +164,8 @@ fn check(cfg: StreamConfig, seed: u64) -> Result<(usize, usize), String> {
 }
 
 fn main() -> ExitCode {
+    let with_faults = std::env::args().any(|a| a == "--with-faults");
+    let faults = with_faults.then(parity_faults);
     let scenarios: Vec<(&str, StreamConfig, u64)> = vec![
         (
             "one_day_light",
@@ -133,13 +194,17 @@ fn main() -> ExitCode {
     let mut t = Table::new(vec!["scenario", "records", "hours", "verdict"]);
     let mut failures = 0usize;
     for (name, cfg, seed) in scenarios {
-        match check(cfg, seed) {
+        match check(cfg, seed, faults.as_ref()) {
             Ok((records, hours)) => {
                 t.row(vec![
                     name.into(),
                     records.to_string(),
                     hours.to_string(),
-                    "identical".into(),
+                    if with_faults {
+                        "identical (+faults)".into()
+                    } else {
+                        "identical".into()
+                    },
                 ]);
             }
             Err(why) => {
@@ -154,7 +219,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    println!("engine parity gate: tick vs event backend\n");
+    if with_faults {
+        println!("engine parity gate: tick vs event backend, telemetry faults applied\n");
+    } else {
+        println!("engine parity gate: tick vs event backend\n");
+    }
     println!("{}", t.render());
     if failures > 0 {
         eprintln!("engine_parity_check: {failures} scenario(s) diverged");

@@ -43,6 +43,7 @@ pub const EXPECTED_FIGURES: &[&str] = &[
     "sec5_gradual_deployment",
     "fleet_design_comparison",
     "fleet_aggregation_ci",
+    "fleet_telemetry_bias",
 ];
 
 fn main() -> ExitCode {

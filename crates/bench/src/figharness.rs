@@ -323,6 +323,17 @@ impl FigureReport {
         self.warnings.push(s.into());
     }
 
+    /// Render data-quality flags (see `unbiased::guardrails`) into the
+    /// warnings section, prefixed with the cell/sweep they concern. The
+    /// contract of the guardrail layer is that a flagged estimate never
+    /// appears in a figure without a visible warning; call this whenever
+    /// a sweep's `assess_fleet_quality` comes back non-empty.
+    pub fn warn_quality(&mut self, context: &str, flags: &[unbiased::guardrails::QualityFlag]) {
+        for flag in flags {
+            self.warn(format!("{context}: {flag}"));
+        }
+    }
+
     /// Cross-seed cell for a per-seed estimator that may fail.
     ///
     /// This is the fix for the old `else { continue; }` pattern: a

@@ -12,7 +12,9 @@ pub mod json;
 pub mod runner;
 
 pub use figharness::{FigCell, FigureReport};
-pub use runner::{derive_seeds, metric_across_seeds, metric_ci, Runner, SeedCi, SeedRun};
+pub use runner::{
+    derive_seeds, metric_across_seeds, metric_ci, FailurePolicy, Runner, SeedCi, SeedRun,
+};
 
 use dessim::SimDuration;
 use netsim::config::{AppConfig, CcKind, DumbbellConfig};

@@ -35,8 +35,47 @@ use streamsim::fleet::{
 use streamsim::scenario::AllocationSchedule;
 use streamsim::session::{LinkId, SessionRecord};
 use streamsim::sim::{HourlyLinkStats, LinkSim, PairedSim};
+use streamsim::telemetry::TelemetryFaults;
 use unbiased::designs::{PairedLinkDesign, PairedOutcome};
 use unbiased::fleet::{FleetLinkSummary, FleetSummary};
+
+/// What a fleet sweep does when one link×seed job panics.
+///
+/// A 10k-link sweep is hours of work; a single poisoned link (bad spec,
+/// telemetry-collector crash, simulator bug on one configuration)
+/// shouldn't take the whole sweep down — but silently absorbing failures
+/// would be worse. `Quarantine` caps how many losses are tolerable and
+/// reports every one in the summary's
+/// [`DegradedReport`](unbiased::fleet::DegradedReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Propagate the first job panic to the caller (the default, and
+    /// the pre-existing behavior of every sweep).
+    FailFast,
+    /// Catch job panics and quarantine the affected links: the sweep
+    /// completes on the surviving links, which are bit-identical to a
+    /// clean sweep restricted to the same set. Once more than
+    /// `max_failures` jobs have panicked (counted sweep-wide, across
+    /// seeds), the next failure propagates — mass failure means the
+    /// world is broken, not one link.
+    Quarantine {
+        /// Maximum tolerated job panics before failing fast after all.
+        max_failures: usize,
+    },
+}
+
+/// Best-effort stringification of a caught panic payload (`&str` and
+/// `String` payloads cover `panic!`/`assert!`; anything else gets a
+/// placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One replication's outcome, tagged with the seed that produced it.
 #[derive(Debug, Clone, PartialEq)]
@@ -439,6 +478,9 @@ impl Runner {
 
     /// [`Runner::sweep_fleet_streaming`] on a selected engine backend
     /// (see [`Runner::sweep_fleet_with`] for the exactness contract).
+    /// Fails fast on any job panic; see
+    /// [`Runner::sweep_fleet_streaming_policy`] for fault injection and
+    /// quarantine.
     pub fn sweep_fleet_streaming_with(
         &self,
         base: &StreamConfig,
@@ -448,8 +490,57 @@ impl Runner {
         sketch_cap: usize,
         backend: EngineBackend,
     ) -> Vec<SeedRun<FleetSummary>> {
+        self.sweep_fleet_streaming_policy(
+            base,
+            specs,
+            design,
+            seeds,
+            sketch_cap,
+            backend,
+            None,
+            FailurePolicy::FailFast,
+        )
+    }
+
+    /// The fully-general streaming fleet sweep: an optional telemetry
+    /// fault model attached to every link job (see
+    /// [`streamsim::telemetry`]) and a [`FailurePolicy`] for job
+    /// panics.
+    ///
+    /// Under [`FailurePolicy::Quarantine`], each job runs inside
+    /// `catch_unwind`: a panicking link lands in its seed summary's
+    /// [`DegradedReport`](unbiased::fleet::DegradedReport) (with the
+    /// panic message) and contributes nothing to the statistics. The
+    /// surviving links' summary is **bit-identical** to a clean sweep's
+    /// summary restricted to the same links, and deterministic under
+    /// work stealing — the quarantine only removes links, it never
+    /// perturbs fold order within one (`crates/bench/tests/fleet_faults.rs`
+    /// asserts both). Accumulator state is only mutated *after* a job
+    /// completes, so a caught panic cannot leave a partially-folded
+    /// link behind (`AssertUnwindSafe` is sound here).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_fleet_streaming_policy(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        seeds: &[u64],
+        sketch_cap: usize,
+        backend: EngineBackend,
+        faults: Option<&TelemetryFaults>,
+        policy: FailurePolicy,
+    ) -> Vec<SeedRun<FleetSummary>> {
         let per_seed = specs.len();
-        let (jobs, per_seed_pairs) = fleet_jobs(base, specs, design, seeds);
+        let (mut jobs, per_seed_pairs) = fleet_jobs(base, specs, design, seeds);
+        if let Some(faults) = faults {
+            if let Err(e) = faults.validate() {
+                panic!("sweep_fleet_streaming_policy: invalid faults: {e}");
+            }
+            for job in &mut jobs {
+                job.faults = Some(faults.clone());
+            }
+        }
+        let failures = AtomicUsize::new(0);
         let summaries = self.map_fold(
             &jobs,
             || {
@@ -458,10 +549,33 @@ impl Runner {
                     .collect::<Vec<_>>()
             },
             |acc, idx, job| {
-                let run = run_fleet_link_with(job, backend);
                 // Jobs are laid out seed-major, exactly `per_seed` each
                 // (asserted in `fleet_jobs`).
-                acc[idx / per_seed].fold(FleetLinkSummary::from_run(&run, sketch_cap));
+                let slot = idx / per_seed;
+                match policy {
+                    FailurePolicy::FailFast => {
+                        let run = run_fleet_link_with(job, backend);
+                        acc[slot].fold(FleetLinkSummary::from_run(&run, sketch_cap));
+                    }
+                    FailurePolicy::Quarantine { max_failures } => {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_fleet_link_with(job, backend)
+                            }));
+                        match outcome {
+                            Ok(run) => {
+                                acc[slot].fold(FleetLinkSummary::from_run(&run, sketch_cap));
+                            }
+                            Err(payload) => {
+                                let seen = failures.fetch_add(1, Ordering::Relaxed) + 1;
+                                if seen > max_failures {
+                                    std::panic::resume_unwind(payload);
+                                }
+                                acc[slot].fold_quarantined(job.link, panic_message(&*payload));
+                            }
+                        }
+                    }
+                }
             },
             |acc, partial| {
                 for (mine, theirs) in acc.iter_mut().zip(partial) {
@@ -475,10 +589,11 @@ impl Runner {
             .zip(per_seed_pairs)
             .map(|((&seed, mut summary), pairs)| {
                 assert_eq!(
-                    summary.links.len(),
+                    summary.links.len() + summary.degraded.len(),
                     per_seed,
-                    "fleet seed {seed}: folded {} links for {} specs",
+                    "fleet seed {seed}: folded {} links + {} quarantined for {} specs",
                     summary.links.len(),
+                    summary.degraded.len(),
                     per_seed
                 );
                 summary.finalize(pairs);

@@ -1,0 +1,238 @@
+//! The quarantine contract: a fault-tolerant sweep must degrade
+//! *transparently* — surviving links bit-identical to a clean sweep
+//! restricted to the same set, quarantined links reported, results
+//! deterministic under work stealing — and `FailFast` must keep its
+//! pre-existing panic-propagation semantics at any thread count.
+
+use repro_bench::derive_seeds;
+use repro_bench::runner::{FailurePolicy, Runner};
+use streamsim::config::StreamConfig;
+use streamsim::engine::EngineBackend;
+use streamsim::fleet::{run_fleet_link_with, FleetDesign, FleetSim, LinkPopulation, LinkSpec};
+use streamsim::telemetry::TelemetryFaults;
+use unbiased::fleet::{DegradedReport, FleetLinkSummary, FleetSummary, DEFAULT_SKETCH_CAP};
+
+fn small_base() -> StreamConfig {
+    StreamConfig {
+        days: 1,
+        capacity_bps: 30e6,
+        peak_arrivals_per_s: 0.24 * 0.03,
+        mean_watch_s: 1500.0,
+        ..Default::default()
+    }
+}
+
+fn specs(n: usize) -> Vec<LinkSpec> {
+    LinkPopulation::moderate(small_base(), n, 99).sample()
+}
+
+fn design() -> FleetDesign {
+    FleetDesign::LinkLevel {
+        p_hi: 0.95,
+        p_lo: 0.05,
+    }
+}
+
+/// Quarantined sweep == clean sweep restricted to the surviving links,
+/// bitwise: same link summaries (Welford cells compare by exact f64
+/// equality), same sketches, same pair matching — the only difference
+/// is the degraded report.
+#[test]
+fn quarantined_sweep_is_bit_identical_to_clean_sweep_over_survivors() {
+    let base = small_base();
+    let specs = specs(6);
+    let design = design();
+    let seeds = derive_seeds(4242, 2);
+    let crashed = vec![1usize, 4];
+    let faults = TelemetryFaults {
+        crash_links: crashed.clone(),
+        ..TelemetryFaults::none(7)
+    };
+
+    let quarantined = Runner::with_threads(3).sweep_fleet_streaming_policy(
+        &base,
+        &specs,
+        &design,
+        &seeds,
+        DEFAULT_SKETCH_CAP,
+        EngineBackend::Tick,
+        Some(&faults),
+        FailurePolicy::Quarantine { max_failures: 8 },
+    );
+
+    for (&seed, run) in seeds.iter().zip(&quarantined) {
+        // Clean reference: the same fleet world (same per-link sim
+        // seeds), folded in link order, skipping the crashed links.
+        let (jobs, pairs) = FleetSim::new(&base, &specs, &design, seed).into_parts();
+        let mut expected = FleetSummary::new(DEFAULT_SKETCH_CAP);
+        for job in &jobs {
+            if crashed.contains(&job.link) {
+                continue;
+            }
+            let link_run = run_fleet_link_with(job, EngineBackend::Tick);
+            expected.fold(FleetLinkSummary::from_run(&link_run, DEFAULT_SKETCH_CAP));
+        }
+        expected.finalize(pairs);
+
+        // The degraded report names exactly the crashed links, sorted.
+        let got_links: Vec<usize> = run
+            .result
+            .degraded
+            .quarantined
+            .iter()
+            .map(|q| q.link)
+            .collect();
+        assert_eq!(got_links, crashed, "seed {seed}");
+        for q in &run.result.degraded.quarantined {
+            assert!(
+                q.reason.contains("crashed"),
+                "panic message preserved, got {:?}",
+                q.reason
+            );
+        }
+
+        // Everything else is bit-identical to the clean restriction.
+        let mut scrubbed = run.result.clone();
+        scrubbed.degraded = DegradedReport::default();
+        assert_eq!(scrubbed, expected, "seed {seed}");
+    }
+}
+
+/// Quarantine-mode sweeps are deterministic under work stealing: 1, 2
+/// and 4 workers produce identical summaries *and* identical degraded
+/// reports, with real telemetry faults layered on top of the crashes.
+#[test]
+fn quarantine_results_are_deterministic_across_thread_counts() {
+    let base = small_base();
+    let specs = specs(5);
+    let design = design();
+    let seeds = derive_seeds(11, 2);
+    let faults = TelemetryFaults {
+        drop_mcar: 0.05,
+        drop_congested: 0.3,
+        duplicate_p: 0.05,
+        reorder_window: 3,
+        crash_links: vec![2],
+        ..TelemetryFaults::none(13)
+    };
+    let sweep = |threads: usize| {
+        Runner::with_threads(threads).sweep_fleet_streaming_policy(
+            &base,
+            &specs,
+            &design,
+            &seeds,
+            256,
+            EngineBackend::Tick,
+            Some(&faults),
+            FailurePolicy::Quarantine { max_failures: 4 },
+        )
+    };
+    let sequential = sweep(1);
+    for run in &sequential {
+        assert_eq!(run.result.degraded.len(), 1);
+        assert_eq!(run.result.links.len(), 4);
+        assert!(run.result.telemetry.loss_fraction() > 0.0);
+    }
+    for threads in [2, 4] {
+        assert_eq!(sweep(threads), sequential, "threads {threads}");
+    }
+}
+
+/// `FailFast` still propagates the first job panic at every thread
+/// count — quarantine machinery must not leak into the default path.
+#[test]
+fn fail_fast_propagates_panics_at_any_thread_count() {
+    let base = small_base();
+    let specs = specs(4);
+    let design = design();
+    let faults = TelemetryFaults {
+        crash_links: vec![3],
+        ..TelemetryFaults::none(0)
+    };
+    for threads in [1usize, 2, 4] {
+        let result = std::panic::catch_unwind(|| {
+            Runner::with_threads(threads).sweep_fleet_streaming_policy(
+                &base,
+                &specs,
+                &design,
+                &[5],
+                64,
+                EngineBackend::Tick,
+                Some(&faults),
+                FailurePolicy::FailFast,
+            )
+        });
+        assert!(result.is_err(), "threads {threads}: panic must propagate");
+    }
+}
+
+/// Exceeding `max_failures` turns quarantine back into fail-fast: mass
+/// failure means the world is broken, not one link.
+#[test]
+fn quarantine_budget_exhaustion_propagates() {
+    let base = small_base();
+    let specs = specs(5);
+    let design = design();
+    let faults = TelemetryFaults {
+        crash_links: vec![0, 2, 4],
+        ..TelemetryFaults::none(0)
+    };
+    let result = std::panic::catch_unwind(|| {
+        Runner::with_threads(2).sweep_fleet_streaming_policy(
+            &base,
+            &specs,
+            &design,
+            &[5],
+            64,
+            EngineBackend::Tick,
+            Some(&faults),
+            FailurePolicy::Quarantine { max_failures: 2 },
+        )
+    });
+    assert!(result.is_err(), "third failure must exceed the budget of 2");
+
+    // With budget exactly equal to the failure count, the sweep survives.
+    let ok = Runner::with_threads(2).sweep_fleet_streaming_policy(
+        &base,
+        &specs,
+        &design,
+        &[5],
+        64,
+        EngineBackend::Tick,
+        Some(&faults),
+        FailurePolicy::Quarantine { max_failures: 3 },
+    );
+    assert_eq!(ok[0].result.degraded.len(), 3);
+    assert_eq!(ok[0].result.links.len(), 2);
+}
+
+/// Faults are applied post-engine: the delivered record stream (and so
+/// the whole summary) is identical across tick and event backends.
+#[test]
+fn faulty_sweeps_agree_across_engine_backends() {
+    let base = small_base();
+    let specs = specs(3);
+    let design = design();
+    let seeds = [21u64];
+    let faults = TelemetryFaults {
+        drop_mcar: 0.1,
+        drop_congested: 0.4,
+        duplicate_p: 0.1,
+        corrupt_nan_p: 0.02,
+        reorder_window: 5,
+        ..TelemetryFaults::none(3)
+    };
+    let run = |backend| {
+        Runner::with_threads(2).sweep_fleet_streaming_policy(
+            &base,
+            &specs,
+            &design,
+            &seeds,
+            128,
+            backend,
+            Some(&faults),
+            FailurePolicy::Quarantine { max_failures: 0 },
+        )
+    };
+    assert_eq!(run(EngineBackend::Tick), run(EngineBackend::Event));
+}

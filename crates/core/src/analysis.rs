@@ -40,12 +40,27 @@ pub struct EffectEstimate {
     /// days ≡ weekend days) — this flag lets callers tell an adjusted
     /// estimate from a fallback to the plain contrast.
     pub weekend_adjusted: bool,
+    /// Data-quality flags raised by the guardrails on the telemetry that
+    /// fed this estimate (see [`crate::guardrails`]). Empty for clean
+    /// pipelines; attached via [`EffectEstimate::with_quality`].
+    pub quality: Vec<crate::guardrails::QualityFlag>,
 }
 
 impl EffectEstimate {
     /// Whether the CI excludes zero.
     pub fn significant(&self) -> bool {
         self.ci95.0 > 0.0 || self.ci95.1 < 0.0
+    }
+
+    /// Attach data-quality flags (builder-style).
+    pub fn with_quality(mut self, flags: Vec<crate::guardrails::QualityFlag>) -> Self {
+        self.quality = flags;
+        self
+    }
+
+    /// Whether any data-quality guardrail fired on this estimate.
+    pub fn flagged(&self) -> bool {
+        !self.quality.is_empty()
     }
 }
 
@@ -74,6 +89,7 @@ pub fn unit_effect(
         se: r.se,
         n: t.len() + c.len(),
         weekend_adjusted: false,
+        quality: Vec::new(),
     })
 }
 
@@ -184,6 +200,7 @@ fn hourly_effect_impl(
         se: se / baseline.abs(),
         n,
         weekend_adjusted,
+        quality: Vec::new(),
     })
 }
 

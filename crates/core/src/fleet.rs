@@ -30,7 +30,8 @@ pub mod summary;
 pub use summary::{
     aggregation_comparison_summary, control_mean_summary, fleet_between_within_summary,
     ground_truth_tte_from_summaries, link_level_effect_summary, paired_effect_summary,
-    strata_summary, user_level_effect_summary, FleetLinkSummary, FleetSummary, DEFAULT_SKETCH_CAP,
+    strata_summary, user_level_effect_summary, DegradedReport, FleetLinkSummary, FleetSummary,
+    QuarantinedLink, DEFAULT_SKETCH_CAP,
 };
 
 use causal::estimators::{between_within, BetweenWithin, ClusterCell};
@@ -59,6 +60,10 @@ pub struct FleetEffect {
     /// Clusters (links, or pairs for the paired estimator) behind the
     /// uncertainty quantification.
     pub n_clusters: usize,
+    /// Data-quality flags raised by the guardrails on the telemetry that
+    /// fed this estimate (see [`crate::guardrails`]). Empty for clean
+    /// pipelines; attached via [`FleetEffect::with_quality`].
+    pub quality: Vec<crate::guardrails::QualityFlag>,
 }
 
 impl FleetEffect {
@@ -70,6 +75,17 @@ impl FleetEffect {
     /// Whether the 95% CI covers a hypothesized relative effect.
     pub fn covers(&self, truth: f64) -> bool {
         self.ci95.0 <= truth && truth <= self.ci95.1
+    }
+
+    /// Attach data-quality flags (builder-style).
+    pub fn with_quality(mut self, flags: Vec<crate::guardrails::QualityFlag>) -> Self {
+        self.quality = flags;
+        self
+    }
+
+    /// Whether any data-quality guardrail fired on this estimate.
+    pub fn flagged(&self) -> bool {
+        !self.quality.is_empty()
     }
 }
 
@@ -151,6 +167,7 @@ pub fn user_level_effect(
         se: se / baseline.abs(),
         n_sessions: n,
         n_clusters: g,
+        quality: Vec::new(),
     })
 }
 
@@ -198,6 +215,7 @@ pub fn link_level_effect(
         se: r.se,
         n_sessions,
         n_clusters: t_means.len() + c_means.len(),
+        quality: Vec::new(),
     })
 }
 
@@ -237,6 +255,7 @@ pub fn paired_effect(run: &FleetRun, metric: Metric, baseline: f64) -> Result<Fl
         se: r.se,
         n_sessions,
         n_clusters: diffs.len(),
+        quality: Vec::new(),
     })
 }
 
@@ -317,6 +336,7 @@ pub fn aggregation_comparison(
         se: se / baseline.abs(),
         n_sessions: n,
         n_clusters,
+        quality: Vec::new(),
     };
     let iid = to_effect(d.estimate, d.se, d.ci, g);
     // (b) same contrast, link-clustered SEs via OLS on the arm dummy.

@@ -27,6 +27,7 @@ use expstats::dist::t_critical;
 use expstats::{diff_in_means, diff_in_means_cells, mean_ci, Result, StatsError};
 use streamsim::fleet::FleetLinkRun;
 use streamsim::session::Metric;
+use streamsim::telemetry::TelemetryStats;
 
 use super::{AggregationComparison, FleetEffect};
 use crate::quantiles::QuantileSketch;
@@ -47,7 +48,7 @@ fn metric_index(metric: Metric) -> usize {
 /// cells and quantile sketches, plus the covariates the designs and
 /// estimators need. Built once per finished job; the session records can
 /// be dropped immediately afterwards.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetLinkSummary {
     /// Link index in the fleet.
     pub link: usize,
@@ -55,8 +56,15 @@ pub struct FleetLinkSummary {
     pub treated_cluster: Option<bool>,
     /// Baseline offered-load covariate (stratification key).
     pub offered_load: f64,
-    /// Total sessions the link served (including ones whose value is
-    /// NaN for some metric).
+    /// Expected treated fraction under this link's schedule (from
+    /// [`FleetLinkRun::expected_allocation`]) — what a sample-ratio test
+    /// compares delivered arm counts against.
+    pub expected_allocation: f64,
+    /// Per-arm telemetry accounting for this link (pass-through when the
+    /// run carried no faults).
+    pub telemetry: TelemetryStats,
+    /// Total sessions *delivered* for this link (including ones whose
+    /// value is NaN for some metric).
     pub n_sessions: usize,
     /// `cells[metric_index][arm]` with arm 0 = control, 1 = treated;
     /// only finite metric values are folded in, mirroring the record
@@ -98,6 +106,8 @@ impl FleetLinkSummary {
             link: run.link,
             treated_cluster: run.treated_cluster,
             offered_load: run.offered_load,
+            expected_allocation: run.expected_allocation,
+            telemetry: run.telemetry,
             n_sessions: run.sessions.len(),
             cells,
             sketches,
@@ -110,10 +120,49 @@ impl FleetLinkSummary {
     }
 }
 
+/// One link a quarantining sweep gave up on: its job panicked, the
+/// panic was caught, and the link's statistics are simply absent from
+/// the summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedLink {
+    /// Link index in the fleet.
+    pub link: usize,
+    /// The panic payload's message, best-effort stringified.
+    pub reason: String,
+}
+
+/// What a fault-tolerant sweep had to give up on: the quarantined links
+/// (sorted by link index after [`FleetSummary::finalize`]). A non-empty
+/// report means every estimate from this summary describes the
+/// *surviving* links only — the analysis layer turns that into a
+/// `DegradedFleet` quality flag rather than reporting silently.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// Links whose jobs panicked, with their panic messages.
+    pub quarantined: Vec<QuarantinedLink>,
+}
+
+impl DegradedReport {
+    /// Whether any link was lost.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Number of quarantined links.
+    pub fn len(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
 /// Mergeable summary of a whole fleet replication: the per-link cells
 /// (memory proportional to links) plus fleet-level quantile sketches
 /// (constant memory) and the design's pair matching.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetSummary {
     sketch_cap: usize,
     /// One summary per link, sorted by link index after [`finalize`].
@@ -126,6 +175,11 @@ pub struct FleetSummary {
     sketches: Vec<[QuantileSketch; 2]>,
     /// Total sessions folded in across links.
     pub n_sessions: usize,
+    /// Fleet-wide telemetry ledger, accumulated over folded links.
+    pub telemetry: TelemetryStats,
+    /// Links a quarantining sweep lost (empty under `FailFast` or a
+    /// clean run).
+    pub degraded: DegradedReport,
 }
 
 impl FleetSummary {
@@ -144,6 +198,8 @@ impl FleetSummary {
                 })
                 .collect(),
             n_sessions: 0,
+            telemetry: TelemetryStats::default(),
+            degraded: DegradedReport::default(),
         }
     }
 
@@ -156,7 +212,17 @@ impl FleetSummary {
             fleet[1].merge(&mine[1]);
         }
         self.n_sessions += link.n_sessions;
+        self.telemetry.merge(&link.telemetry);
         self.links.push(link);
+    }
+
+    /// Record a link whose job panicked under a quarantining sweep: the
+    /// link contributes nothing to the statistics, only to the degraded
+    /// report.
+    pub fn fold_quarantined(&mut self, link: usize, reason: String) {
+        self.degraded
+            .quarantined
+            .push(QuarantinedLink { link, reason });
     }
 
     /// Combine two partial summaries of the *same* replication
@@ -176,18 +242,23 @@ impl FleetSummary {
             fleet[1].merge(&theirs[1]);
         }
         self.n_sessions += other.n_sessions;
+        self.telemetry.merge(&other.telemetry);
+        self.degraded
+            .quarantined
+            .append(&mut other.degraded.quarantined);
         self.links.append(&mut other.links);
     }
 
-    /// Canonicalize after all partials are merged: sort links by index
-    /// (restoring determinism under work stealing) and attach the
-    /// design's pair matching.
+    /// Canonicalize after all partials are merged: sort links (and the
+    /// degraded report) by index, restoring determinism under work
+    /// stealing, and attach the design's pair matching.
     pub fn finalize(&mut self, pairs: Vec<(usize, usize)>) {
         self.links.sort_by_key(|l| l.link);
         debug_assert!(
             self.links.windows(2).all(|w| w[0].link < w[1].link),
             "duplicate link folded into FleetSummary"
         );
+        self.degraded.quarantined.sort_by_key(|q| q.link);
         self.pairs = pairs;
     }
 
@@ -262,6 +333,7 @@ fn effect_from_clustered(
         se: se / baseline.abs(),
         n_sessions: n,
         n_clusters: g,
+        quality: Vec::new(),
     }
 }
 
@@ -331,6 +403,7 @@ pub fn link_level_effect_summary(
         se: r.se,
         n_sessions,
         n_clusters: t_means.len() + c_means.len(),
+        quality: Vec::new(),
     })
 }
 
@@ -373,6 +446,7 @@ pub fn paired_effect_summary(
         se: r.se,
         n_sessions,
         n_clusters: diffs.len(),
+        quality: Vec::new(),
     })
 }
 
@@ -421,6 +495,7 @@ pub fn aggregation_comparison_summary(
         se: se / baseline.abs(),
         n_sessions: n,
         n_clusters: g,
+        quality: Vec::new(),
     };
     let iid = to_effect(d.estimate, d.se, d.ci);
     let est = fit.coef[1];

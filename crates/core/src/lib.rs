@@ -18,6 +18,10 @@
 //!   errors, the link-level (cluster) and stratified-paired contrasts,
 //!   the between/within-link decomposition, and the simulator's
 //!   ground-truth TTE;
+//! * data-quality guardrails in [`guardrails`]: sample-ratio-mismatch
+//!   and arm-differential missingness/duplication checks over the
+//!   telemetry ledger, surfaced as [`guardrails::QualityFlag`]s on
+//!   [`EffectEstimate`]/[`FleetEffect`];
 //! * report rendering for every table/figure of the paper in [`report`].
 //!
 //! The designs run against the `streamsim` paired-link world (and the
@@ -31,9 +35,11 @@ pub mod analysis;
 pub mod dataset;
 pub mod designs;
 pub mod fleet;
+pub mod guardrails;
 pub mod quantiles;
 pub mod report;
 
 pub use analysis::{hourly_effect, unit_effect, EffectEstimate};
 pub use dataset::Dataset;
 pub use fleet::FleetEffect;
+pub use guardrails::{assess_fleet_quality, DataQuality, QualityFlag};

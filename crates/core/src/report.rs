@@ -85,6 +85,7 @@ mod tests {
             se: 0.01,
             n: 100,
             weekend_adjusted: false,
+            quality: Vec::new(),
         }
     }
 

@@ -378,6 +378,111 @@ pub fn z_critical(level: f64) -> f64 {
     norm_ppf(1.0 - (1.0 - level) / 2.0)
 }
 
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, Lentz continued fraction on the
+/// complement otherwise (the same split Numerical Recipes uses; each
+/// converges fast on its side).
+///
+/// # Panics
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_p requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`,
+/// computed directly on the tail side so extreme upper-tail p-values
+/// don't cancel to zero.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_q requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, accurate for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    const EPS: f64 = 1e-15;
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (a * x.ln() - x - ln_gamma(a)).exp()
+}
+
+/// Lentz continued fraction for `Q(a, x)`, accurate for `x >= a + 1`.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (a * x.ln() - x - ln_gamma(a)).exp() * h
+}
+
+/// Chi-square cumulative distribution function with `df` degrees of
+/// freedom: `P(df/2, x/2)`.
+pub fn chi2_cdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi2_cdf requires positive degrees of freedom");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(0.5 * df, 0.5 * x)
+}
+
+/// Chi-square survival function `1 - CDF` with `df` degrees of freedom,
+/// computed on the tail side directly — this is the p-value of a
+/// chi-square test statistic, accurate deep into the tail where
+/// `1.0 - chi2_cdf(..)` would round to zero.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi2_sf requires positive degrees of freedom");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(0.5 * df, 0.5 * x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,5 +581,50 @@ mod tests {
     #[test]
     fn z_critical_95() {
         assert!((z_critical(0.95) - 1.959_964).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 - e^{-x} (exponential CDF).
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!(
+                (gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12,
+                "x={x}"
+            );
+        }
+        // P(1/2, x) = erf(sqrt(x)): P(0.5, 0.5) with known value
+        // (scipy gammainc(0.5, 0.5) = 0.682689...; also the 1-sigma
+        // normal mass).
+        assert!((gamma_p(0.5, 0.5) - 0.682_689_492_137_086).abs() < 1e-10);
+        // Boundaries and complements.
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert_eq!(gamma_q(2.0, 0.0), 1.0);
+        for &(a, x) in &[(0.5, 0.2), (2.0, 1.0), (5.0, 9.0), (10.0, 3.0)] {
+            let s = gamma_p(a, x) + gamma_q(a, x);
+            assert!((s - 1.0).abs() < 1e-12, "a={a} x={x}: {s}");
+        }
+        // Monotone in x.
+        assert!(gamma_p(3.0, 2.0) < gamma_p(3.0, 2.5));
+    }
+
+    #[test]
+    fn chi2_known_values() {
+        // chi2_cdf(x, 2) = 1 - e^{-x/2}.
+        for &x in &[0.5, 1.0, 5.0, 12.0] {
+            assert!((chi2_cdf(x, 2.0) - (1.0 - (-x / 2.0).exp())).abs() < 1e-12);
+        }
+        // Classic table: P(chi2 > 3.841) = 0.05 at df=1,
+        // P(chi2 > 6.635) = 0.01 at df=1, P(chi2 > 18.307) = 0.05 at
+        // df=10.
+        assert!((chi2_sf(3.841_458_820_694_124, 1.0) - 0.05).abs() < 1e-9);
+        assert!((chi2_sf(6.634_896_601_021_213, 1.0) - 0.01).abs() < 1e-9);
+        assert!((chi2_sf(18.307_038_053_275_146, 10.0) - 0.05).abs() < 1e-9);
+        // Deep tail stays positive and ordered instead of rounding to 0.
+        let far = chi2_sf(300.0, 1.0);
+        assert!(far > 0.0 && far < 1e-60);
+        assert!(chi2_sf(310.0, 1.0) < far);
+        // Degenerate statistic.
+        assert_eq!(chi2_sf(0.0, 5.0), 1.0);
+        assert_eq!(chi2_cdf(-1.0, 5.0), 0.0);
     }
 }

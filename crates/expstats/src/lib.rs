@@ -21,7 +21,9 @@
 //! * autocovariance utilities and automatic HAC lag selection —
 //!   [`timeseries`],
 //! * mergeable one-pass accumulators (Welford cells, normal-equation OLS,
-//!   CRV1 cluster state) for streaming fleet aggregation — [`accum`].
+//!   CRV1 cluster state) for streaming fleet aggregation — [`accum`],
+//! * data-quality guardrails (sample-ratio-mismatch chi-square) for
+//!   lossy-telemetry pipelines — [`quality`].
 //!
 //! The Rust statistics ecosystem is young; implementing these ~15 routines
 //! directly keeps the workspace dependency-free and lets us property-test
@@ -38,6 +40,7 @@ pub mod infer;
 pub mod linalg;
 pub mod ols;
 pub mod power;
+pub mod quality;
 pub mod quantiles;
 pub mod rng;
 pub mod table;
@@ -51,6 +54,7 @@ pub use infer::{
 };
 pub use linalg::Matrix;
 pub use ols::{CovEstimator, Ols, OlsFit};
+pub use quality::{sample_ratio_mismatch, SrmCell, SrmTest};
 
 /// Errors produced by statistical routines.
 #[derive(Debug, Clone, PartialEq)]

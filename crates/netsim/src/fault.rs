@@ -4,6 +4,15 @@
 //! [`crate::config::DumbbellConfig::random_loss`]); this module provides
 //! the standalone injector plus deterministic loss patterns used by the
 //! test suite to exercise specific recovery paths.
+//!
+//! These faults live *inside* the simulated transport: a dropped packet
+//! changes congestion control, retransmissions, and therefore the world
+//! being measured. The streaming twin of this module is
+//! `streamsim::telemetry` (`TelemetryFaults`), which corrupts only the
+//! *records about* sessions after the simulation ran — the measurement,
+//! never the world. Keep the two straight when composing experiments:
+//! packet loss here biases the plant, telemetry loss there biases the
+//! estimate.
 
 use dessim::SimRng;
 
@@ -32,9 +41,24 @@ pub struct RandomLoss {
 
 impl RandomLoss {
     /// Drop each packet independently with `probability`.
+    ///
+    /// `probability` must be a finite value in `[0, 1]`. Anything else
+    /// is a configuration bug, not a tunable: debug builds panic on it,
+    /// and release builds clamp into range (NaN clamps to 0, i.e. no
+    /// loss) so a long-running sweep degrades predictably instead of
+    /// feeding garbage to the RNG.
     pub fn new(probability: f64, seed: u64) -> RandomLoss {
+        debug_assert!(
+            probability.is_finite() && (0.0..=1.0).contains(&probability),
+            "RandomLoss probability must be finite and in [0, 1], got {probability}"
+        );
+        let probability = if probability.is_nan() {
+            0.0
+        } else {
+            probability.clamp(0.0, 1.0)
+        };
         RandomLoss {
-            probability: probability.clamp(0.0, 1.0),
+            probability,
             rng: SimRng::new(seed),
         }
     }
@@ -114,6 +138,30 @@ mod tests {
         for i in 0..1000 {
             assert_eq!(a.should_drop(i), b.should_drop(i));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and in [0, 1]")]
+    #[cfg(debug_assertions)]
+    fn random_loss_rejects_out_of_range_probability() {
+        let _ = RandomLoss::new(1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and in [0, 1]")]
+    #[cfg(debug_assertions)]
+    fn random_loss_rejects_nan_probability() {
+        let _ = RandomLoss::new(f64::NAN, 1);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn random_loss_release_clamps_bad_probabilities() {
+        // Documented release behavior: clamp, NaN → no loss.
+        let mut hi = RandomLoss::new(2.0, 3);
+        assert!((0..100).all(|i| hi.should_drop(i)));
+        let mut nan = RandomLoss::new(f64::NAN, 3);
+        assert!((0..100).all(|i| !nan.should_drop(i)));
     }
 
     #[test]

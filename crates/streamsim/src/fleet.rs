@@ -33,6 +33,7 @@ use crate::engine::EngineBackend;
 use crate::scenario::AllocationSchedule;
 use crate::session::{LinkId, SessionRecord};
 use crate::sim::{HourlyLinkStats, LinkSim};
+use crate::telemetry::{TelemetryFaults, TelemetryStats};
 use dessim::SimRng;
 
 /// One sampled link of the fleet: heterogeneity multipliers relative to
@@ -369,6 +370,11 @@ pub struct FleetLinkJob {
     pub offered_load: f64,
     /// Independent per-link simulation seed.
     pub seed: u64,
+    /// Telemetry fault model applied to this link's record stream after
+    /// the simulation (see [`crate::telemetry`]); `None` = perfect
+    /// collection. The fault RNG derives from the fault seed and link
+    /// index only, never from [`FleetLinkJob::seed`].
+    pub faults: Option<TelemetryFaults>,
 }
 
 /// One link's outcome within a fleet run.
@@ -382,10 +388,18 @@ pub struct FleetLinkRun {
     pub treated_cluster: Option<bool>,
     /// Baseline covariate ([`LinkSpec::offered_load_index`]).
     pub offered_load: f64,
-    /// Completed session records of this link.
+    /// Expected treated fraction under this link's schedule (mean
+    /// allocation over the run's days) — the denominator side of the
+    /// sample-ratio-mismatch guardrail.
+    pub expected_allocation: f64,
+    /// Session records as *delivered* by the telemetry pipeline (equal
+    /// to the simulator's output when the job carries no faults).
     pub sessions: Vec<SessionRecord>,
-    /// Hourly link statistics.
+    /// Hourly link statistics (measured in-network, not subject to the
+    /// record-stream fault model).
     pub hourly: Vec<HourlyLinkStats>,
+    /// Per-arm telemetry accounting for this link.
+    pub telemetry: TelemetryStats,
 }
 
 /// A whole fleet's outcome: per-link runs (in link order) plus the
@@ -415,15 +429,34 @@ pub fn run_fleet_link(job: &FleetLinkJob) -> FleetLinkRun {
 /// and therefore every fleet estimator — are bit-identical across
 /// backends (see [`crate::engine`]); hourly statistics agree to ≤1e-9.
 pub fn run_fleet_link_with(job: &FleetLinkJob, backend: EngineBackend) -> FleetLinkRun {
+    if let Some(faults) = &job.faults {
+        assert!(
+            !faults.should_crash(job.link),
+            "telemetry collection for link {} crashed (scripted by TelemetryFaults::crash_links)",
+            job.link
+        );
+    }
     let sim = LinkSim::new(job.cfg.clone(), LinkId::One, job.schedule.clone(), job.seed);
     let (sessions, hourly) = sim.run_with(backend);
+    let days = job.cfg.days.max(1);
+    let expected_allocation =
+        (0..days).map(|d| job.schedule.allocation(d)).sum::<f64>() / days as f64;
+    let (sessions, telemetry) = match &job.faults {
+        Some(faults) => faults.apply(job.link, sessions),
+        None => {
+            let stats = TelemetryStats::clean(&sessions);
+            (sessions, stats)
+        }
+    };
     FleetLinkRun {
         link: job.link,
         spec: job.spec.clone(),
         treated_cluster: job.treated_cluster,
         offered_load: job.offered_load,
+        expected_allocation,
         sessions,
         hourly,
+        telemetry,
     }
 }
 
@@ -481,6 +514,7 @@ impl FleetSim {
                     treated_cluster,
                     offered_load: spec.offered_load_index(base),
                     seed: root.next_u64(),
+                    faults: None,
                 }
             })
             .collect();
@@ -488,6 +522,21 @@ impl FleetSim {
             jobs,
             pairs: plan.pairs,
         }
+    }
+
+    /// Attach a telemetry fault model to every link job. The sim seeds
+    /// are untouched — the physical world is identical to the fault-free
+    /// fleet; only its *observation* changes.
+    ///
+    /// Panics if `faults` fails [`TelemetryFaults::validate`].
+    pub fn with_faults(mut self, faults: &TelemetryFaults) -> FleetSim {
+        if let Err(e) = faults.validate() {
+            panic!("FleetSim::with_faults: {e}");
+        }
+        for job in &mut self.jobs {
+            job.faults = Some(faults.clone());
+        }
+        self
     }
 
     /// The per-link jobs, in link order.
@@ -789,6 +838,100 @@ mod tests {
         let mut specs = small_pop(2).sample();
         specs[0].watch_scale = -0.5;
         let _ = FleetSim::new(&small_base(), &specs, &FleetDesign::UserLevel { p: 0.5 }, 1);
+    }
+
+    #[test]
+    fn faults_change_observation_not_the_world() {
+        let base = small_base();
+        let specs = small_pop(3).sample();
+        let design = FleetDesign::LinkLevel {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        let clean = FleetSim::new(&base, &specs, &design, 21).run();
+        let faults = TelemetryFaults {
+            drop_mcar: 0.15,
+            duplicate_p: 0.1,
+            reorder_window: 4,
+            ..TelemetryFaults::none(77)
+        };
+        let faulty = FleetSim::new(&base, &specs, &design, 21)
+            .with_faults(&faults)
+            .run();
+        for (c, f) in clean.links.iter().zip(&faulty.links) {
+            // Hourly (in-network) stats untouched by record-stream faults.
+            assert_eq!(c.hourly.len(), f.hourly.len());
+            for (a, b) in c.hourly.iter().zip(&f.hourly) {
+                assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+            }
+            // Delivered records are an ordered subsequence of the clean run.
+            assert!(f.sessions.len() < c.sessions.len());
+            let mut clean_iter = c.sessions.iter();
+            for s in &f.sessions {
+                assert!(
+                    clean_iter.any(|cs| cs.arrival_s.to_bits() == s.arrival_s.to_bits()),
+                    "delivered record not an in-order member of the clean stream"
+                );
+            }
+            assert_eq!(f.telemetry.sent_total() as usize, c.sessions.len());
+            assert_eq!(f.telemetry.delivered_total() as usize, f.sessions.len());
+            // Clean runs carry a pass-through ledger.
+            assert_eq!(c.telemetry.sent, c.telemetry.delivered);
+        }
+        // Same seeds, same faults: byte-identical observation.
+        let again = FleetSim::new(&base, &specs, &design, 21)
+            .with_faults(&faults)
+            .run();
+        for (a, b) in faulty.links.iter().zip(&again.links) {
+            assert_eq!(a.sessions.len(), b.sessions.len());
+            assert_eq!(a.telemetry, b.telemetry);
+        }
+    }
+
+    #[test]
+    fn expected_allocation_reflects_the_schedule() {
+        let base = small_base();
+        let specs = small_pop(4).sample();
+        let design = FleetDesign::LinkLevel {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        let run = FleetSim::new(&base, &specs, &design, 13).run();
+        for l in &run.links {
+            let expect = if l.treated_cluster == Some(true) {
+                0.95
+            } else {
+                0.05
+            };
+            assert_eq!(l.expected_allocation, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed")]
+    fn scripted_crash_link_panics() {
+        let base = small_base();
+        let specs = small_pop(2).sample();
+        let sim = FleetSim::new(&base, &specs, &FleetDesign::UserLevel { p: 0.5 }, 1).with_faults(
+            &TelemetryFaults {
+                crash_links: vec![1],
+                ..TelemetryFaults::none(0)
+            },
+        );
+        let _ = sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_faults_rejected() {
+        let base = small_base();
+        let specs = small_pop(2).sample();
+        let _ = FleetSim::new(&base, &specs, &FleetDesign::UserLevel { p: 0.5 }, 1).with_faults(
+            &TelemetryFaults {
+                drop_mcar: 2.0,
+                ..TelemetryFaults::none(0)
+            },
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod link;
 pub mod scenario;
 pub mod session;
 pub mod sim;
+pub mod telemetry;
 
 pub use arena::ClientArena;
 pub use config::StreamConfig;
@@ -48,3 +49,4 @@ pub use fleet::{FleetDesign, FleetRun, FleetSim, LinkPopulation, LinkSpec};
 pub use scenario::AllocationSchedule;
 pub use session::SessionRecord;
 pub use sim::{LinkSim, PairedSim};
+pub use telemetry::{TelemetryFaults, TelemetryStats};

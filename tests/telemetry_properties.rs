@@ -1,0 +1,184 @@
+//! Property-based tests on the telemetry wire model: a bounded-window
+//! shuffle with duplicate copies, pushed through the receiver-side
+//! [`ReorderBuffer`], must reproduce the clean in-order stream exactly —
+//! so a [`FleetLinkSummary`] folded over the repaired stream is
+//! bit-identical to one folded over the stream the simulator emitted.
+//!
+//! This is the estimator-facing half of the guarantee the telemetry
+//! module proves internally (buffer capacity `2W + 2` never force-emits
+//! past a record displaced by at most `W`): not just "same multiset of
+//! records", but identical fold order, hence identical Welford cells and
+//! quantile sketches under `PartialEq`.
+
+use dessim::rng::SimRng;
+use proptest::prelude::*;
+use streamsim::fleet::{FleetLinkRun, LinkSpec};
+use streamsim::session::LinkId;
+use streamsim::telemetry::ReorderBuffer;
+use streamsim::{SessionRecord, TelemetryStats};
+use unbiased::fleet::{FleetLinkSummary, DEFAULT_SKETCH_CAP};
+
+/// A synthetic record whose metric fields vary with `seq`, so summary
+/// cells and sketches actually depend on stream content and order.
+fn record(seq: usize, rng: &mut SimRng) -> SessionRecord {
+    SessionRecord {
+        link: LinkId::One,
+        day: seq / 24,
+        hour: seq % 24,
+        weekend: (seq / 24) % 7 >= 5,
+        arrival_s: seq as f64 * 10.0 + rng.uniform01(),
+        treated: rng.bernoulli(0.5),
+        throughput_bps: 2e6 + 6e6 * rng.uniform01(),
+        min_rtt_s: 0.01 + 0.05 * rng.uniform01(),
+        play_delay_s: 0.5 + 2.0 * rng.uniform01(),
+        bitrate_bps: 5e5 + 5e6 * rng.uniform01(),
+        quality: 100.0 * rng.uniform01(),
+        rebuffer_count: (rng.uniform01() * 3.0) as u32,
+        rebuffered: rng.bernoulli(0.2),
+        cancelled: false,
+        bytes: 1e7 + 2e8 * rng.uniform01(),
+        retx_bytes: 1e5 * rng.uniform01(),
+        switches: (rng.uniform01() * 5.0) as u32,
+        duration_s: 300.0 + 1200.0 * rng.uniform01(),
+    }
+}
+
+fn stream(n: usize, seed: u64) -> Vec<SessionRecord> {
+    let mut rng = SimRng::new(seed);
+    (0..n).map(|i| record(i, &mut rng)).collect()
+}
+
+/// Put `clean` on the wire: each record (and, with probability `dup_p`,
+/// a duplicate copy) gets a sort key displaced forward by at most
+/// `window`, mimicking the jitter model in `streamsim::telemetry`.
+/// Returns `(wire arrivals, duplicate copies injected)`.
+fn wire_shuffle(
+    clean: &[SessionRecord],
+    window: u64,
+    dup_p: f64,
+    seed: u64,
+) -> (Vec<(u64, SessionRecord)>, u64) {
+    let mut rng = SimRng::new(seed ^ 0xD1B5);
+    let mut wire: Vec<(u64, u64, SessionRecord)> = Vec::with_capacity(clean.len());
+    let mut dups = 0u64;
+    for (seq, r) in clean.iter().enumerate() {
+        let seq = seq as u64;
+        if rng.bernoulli(dup_p) {
+            dups += 1;
+            wire.push((seq + rng.below(window + 1), seq, r.clone()));
+        }
+        wire.push((seq + rng.below(window + 1), seq, r.clone()));
+    }
+    wire.sort_by_key(|&(key, _, _)| key);
+    (wire.into_iter().map(|(_, seq, r)| (seq, r)).collect(), dups)
+}
+
+/// Run wire arrivals through a receiver buffer sized for the window.
+fn repair(wire: Vec<(u64, SessionRecord)>, window: u64) -> (Vec<SessionRecord>, u64, u64) {
+    let mut buffer = ReorderBuffer::new(2 * window as usize + 2);
+    let mut delivered = Vec::with_capacity(wire.len());
+    for (seq, r) in wire {
+        buffer.push(seq, r, &mut delivered);
+    }
+    let (duplicates, late_drops) = buffer.finish(&mut delivered);
+    (delivered, duplicates, late_drops)
+}
+
+/// Fold records into a link summary the way a fleet sweep does.
+fn summarize(sessions: Vec<SessionRecord>) -> FleetLinkSummary {
+    let n = sessions.len();
+    let run = FleetLinkRun {
+        link: 3,
+        spec: LinkSpec {
+            link: 3,
+            capacity_bps: 30e6,
+            base_rtt_s: 0.03,
+            arrival_scale: 1.0,
+            watch_scale: 1.0,
+        },
+        treated_cluster: None,
+        offered_load: 1.0,
+        expected_allocation: 0.5,
+        sessions,
+        hourly: Vec::new(),
+        telemetry: TelemetryStats {
+            sent: [n as u64, 0],
+            delivered: [n as u64, 0],
+            ..TelemetryStats::default()
+        },
+    };
+    FleetLinkSummary::from_run(&run, DEFAULT_SKETCH_CAP)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An adequately sized reorder buffer fully repairs any bounded-
+    /// window shuffle with duplicates: the delivered stream is the clean
+    /// stream bit-for-bit, every duplicate copy is discarded exactly
+    /// once, and nothing is late-dropped.
+    #[test]
+    fn reorder_buffer_repairs_bounded_shuffle(
+        n in 1usize..300,
+        window in 0u64..40,
+        dup_p in 0.0f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        let clean = stream(n, seed);
+        let (wire, dups) = wire_shuffle(&clean, window, dup_p, seed);
+        let (delivered, discarded, late) = repair(wire, window);
+        prop_assert_eq!(late, 0, "buffer of 2W+2 never late-drops");
+        prop_assert_eq!(discarded, dups, "each duplicate discarded once");
+        prop_assert_eq!(delivered.len(), clean.len());
+        for (a, b) in delivered.iter().zip(&clean) {
+            prop_assert_eq!(a.arrival_s.to_bits(), b.arrival_s.to_bits());
+            prop_assert_eq!(a.throughput_bps.to_bits(), b.throughput_bps.to_bits());
+            prop_assert_eq!(a.treated, b.treated);
+        }
+    }
+
+    /// The estimator-facing consequence: a `FleetLinkSummary` folded
+    /// over the shuffled-then-repaired stream equals (PartialEq, i.e.
+    /// bit-exact cells and sketches) the summary folded over the sorted
+    /// clean stream. Telemetry mangling that the receiver repairs is
+    /// invisible to every downstream estimate.
+    #[test]
+    fn link_summary_unchanged_by_repaired_wire_shuffle(
+        n in 1usize..300,
+        window in 0u64..40,
+        dup_p in 0.0f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        let clean = stream(n, seed);
+        let (wire, _) = wire_shuffle(&clean, window, dup_p, seed ^ 0x9E37);
+        let (delivered, _, late) = repair(wire, window);
+        prop_assert_eq!(late, 0);
+        let from_clean = summarize(clean);
+        let from_wire = summarize(delivered);
+        prop_assert_eq!(from_clean, from_wire);
+    }
+
+    /// Without the reorder buffer, the same shuffle generally does NOT
+    /// leave the summary invariant once duplicates are in play: the
+    /// duplicated records are double-counted. This pins down that the
+    /// invariance above is earned by the receiver, not vacuous.
+    #[test]
+    fn raw_wire_with_duplicates_inflates_summary(
+        n in 50usize..200,
+        window in 1u64..20,
+        seed in 0u64..10_000,
+    ) {
+        let clean = stream(n, seed);
+        let (wire, dups) = wire_shuffle(&clean, window, 0.4, seed);
+        // At dup_p = 0.4 over >= 50 records a duplicate-free draw is
+        // essentially impossible, but guard anyway (no prop_assume in
+        // the shim): the property is only about streams with duplicates.
+        if dups > 0 {
+            let raw: Vec<SessionRecord> = wire.into_iter().map(|(_, r)| r).collect();
+            let from_clean = summarize(clean);
+            let from_raw = summarize(raw);
+            prop_assert_eq!(from_raw.n_sessions, from_clean.n_sessions + dups as usize);
+            prop_assert_ne!(from_raw, from_clean);
+        }
+    }
+}
