@@ -13,6 +13,15 @@
 //! rollbacks), a table of per-scenario outcomes, nonzero exit on the
 //! first mismatch.
 //!
+//! With `--routed`, the gate instead runs a shared-arrival *routed*
+//! fleet (one scenario per [`RoutingPolicy`]) on both backends through
+//! the full sweep path: every per-link session record must be
+//! bit-identical, and the link-level / user-level estimators computed
+//! from each backend's sweep must agree to ≤1e-9 relative. This is the
+//! always-on CI variant of `tests/fleet_routed.rs` — it exercises the
+//! router pre-pass, the routed arrival cursor, and the estimator stack
+//! in one pass.
+//!
 //! With `--with-faults`, each scenario's record stream is additionally
 //! run through a composite [`TelemetryFaults`] pipeline (MCAR + MNAR
 //! drop, duplication, NaN corruption, reordering, an outage window) on
@@ -25,12 +34,15 @@
 use std::process::ExitCode;
 
 use expstats::table::Table;
+use repro_bench::runner::{derive_seeds, Runner};
 use streamsim::engine::EngineBackend;
+use streamsim::fleet::{FleetDesign, LinkPopulation};
 use streamsim::scenario::AllocationSchedule;
-use streamsim::session::{LinkId, SessionRecord};
+use streamsim::session::{LinkId, Metric, SessionRecord};
 use streamsim::sim::LinkSim;
 use streamsim::telemetry::OutageWindow;
-use streamsim::{StreamConfig, TelemetryFaults};
+use streamsim::{RoutingConfig, RoutingPolicy, StreamConfig, TelemetryFaults};
+use unbiased::fleet::{control_mean, link_level_effect, user_level_effect};
 
 /// First field (by name) where two records differ bitwise, if any.
 fn record_mismatch(a: &SessionRecord, b: &SessionRecord) -> Option<&'static str> {
@@ -163,7 +175,142 @@ fn check(
     Ok((rt.len(), ht.len()))
 }
 
+/// Run one routed fleet scenario on both backends; returns `(records,
+/// links)` on success, an error description on the first divergence.
+fn check_routed(policy: RoutingPolicy) -> Result<(usize, usize), String> {
+    let base = StreamConfig {
+        days: 1,
+        capacity_bps: 15e6,
+        peak_arrivals_per_s: 0.24 * 0.015,
+        mean_watch_s: 1200.0,
+        ..Default::default()
+    };
+    let specs = LinkPopulation::moderate(base.clone(), 8, 31).sample();
+    let design = FleetDesign::LinkLevel {
+        p_hi: 0.95,
+        p_lo: 0.05,
+    };
+    let routing = RoutingConfig::new(policy, 3);
+    let seeds = derive_seeds(4101, 1);
+    let runner = Runner::with_threads(2);
+    let tick = runner.sweep_fleet_routed_with(
+        &base,
+        &specs,
+        &design,
+        &routing,
+        &seeds,
+        EngineBackend::Tick,
+    );
+    let event = runner.sweep_fleet_routed_with(
+        &base,
+        &specs,
+        &design,
+        &routing,
+        &seeds,
+        EngineBackend::Event,
+    );
+    let (t, e) = (&tick[0].result, &event[0].result);
+    if t.links.len() != e.links.len() {
+        return Err(format!(
+            "link counts differ: {} vs {}",
+            t.links.len(),
+            e.links.len()
+        ));
+    }
+    let mut n_records = 0usize;
+    for (lt, le) in t.links.iter().zip(&e.links) {
+        if lt.sessions.len() != le.sessions.len() {
+            return Err(format!(
+                "link {:?} record counts differ: {} vs {}",
+                lt.link,
+                lt.sessions.len(),
+                le.sessions.len()
+            ));
+        }
+        for (i, (a, b)) in lt.sessions.iter().zip(&le.sessions).enumerate() {
+            if let Some(field) = record_mismatch(a, b) {
+                return Err(format!(
+                    "link {:?} record {i} diverges in `{field}`",
+                    lt.link
+                ));
+            }
+        }
+        n_records += lt.sessions.len();
+    }
+    // The estimator stack must agree too: backend parity has to survive
+    // the summary layer, not just the raw records.
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1e-300);
+    let (lt, le) = (
+        t.links.iter().collect::<Vec<_>>(),
+        e.links.iter().collect::<Vec<_>>(),
+    );
+    for metric in [Metric::Bitrate, Metric::Throughput] {
+        let (bt, be) = (control_mean(&lt, metric), control_mean(&le, metric));
+        if !close(bt, be) {
+            return Err(format!("{metric:?} control mean beyond 1e-9: {bt} vs {be}"));
+        }
+        for (name, rt, re) in [
+            (
+                "user_level",
+                user_level_effect(&lt, metric, bt).map_err(|e| e.to_string())?,
+                user_level_effect(&le, metric, be).map_err(|e| e.to_string())?,
+            ),
+            (
+                "link_level",
+                link_level_effect(&lt, metric, bt).map_err(|e| e.to_string())?,
+                link_level_effect(&le, metric, be).map_err(|e| e.to_string())?,
+            ),
+        ] {
+            if !close(rt.relative, re.relative) || !close(rt.se, re.se) {
+                return Err(format!(
+                    "{metric:?} {name} estimator beyond 1e-9: {} vs {}",
+                    rt.relative, re.relative
+                ));
+            }
+        }
+    }
+    Ok((n_records, t.links.len()))
+}
+
+fn routed_main() -> ExitCode {
+    let mut t = Table::new(vec!["policy", "records", "links", "verdict"]);
+    let mut failures = 0usize;
+    for policy in RoutingPolicy::ALL {
+        match check_routed(policy) {
+            Ok((records, links)) => {
+                t.row(vec![
+                    policy.name().into(),
+                    records.to_string(),
+                    links.to_string(),
+                    "identical".into(),
+                ]);
+            }
+            Err(why) => {
+                failures += 1;
+                eprintln!("error: {}: {why}", policy.name());
+                t.row(vec![
+                    policy.name().into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("DIVERGED: {why}"),
+                ]);
+            }
+        }
+    }
+    println!("engine parity gate: routed fleet, tick vs event backend\n");
+    println!("{}", t.render());
+    if failures > 0 {
+        eprintln!("engine_parity_check: {failures} routed scenario(s) diverged");
+        return ExitCode::FAILURE;
+    }
+    println!("all routed scenarios bit-identical (estimators within 1e-9)");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--routed") {
+        return routed_main();
+    }
     let with_faults = std::env::args().any(|a| a == "--with-faults");
     let faults = with_faults.then(parity_faults);
     let scenarios: Vec<(&str, StreamConfig, u64)> = vec![

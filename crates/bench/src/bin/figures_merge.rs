@@ -2,9 +2,17 @@
 //! one `figures.json` document — the artifact the CI `figure-smoke` job
 //! uploads.
 //!
-//! Usage: `figures_merge <json-dir> <out.json>`
+//! Usage:
+//!   `figures_merge <json-dir> <out.json>` — merge (the default mode)
+//!   `figures_merge --list`                — print one figure *binary*
+//!                                           name per line
 //!
-//! Every figure binary in [`EXPECTED_FIGURES`] must have written a
+//! `--list` is the single source of truth for "which binaries are
+//! figures": the CI `figure-smoke` job loops over its output instead of
+//! hand-maintaining a copy of the list in the workflow file, so adding
+//! a figure here is the only registration step.
+//!
+//! Every figure in [`EXPECTED_FIGURES`] must have written a
 //! syntactically valid `<id>.json` whose `"id"` field matches its file
 //! stem; a missing, unparseable, or mislabeled report is a hard error
 //! (exit 1), so a figure that panics before emitting — or emits garbage
@@ -13,43 +21,21 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use repro_bench::figharness::git_rev;
+use repro_bench::figharness::{git_rev, EXPECTED_FIGURES};
 use repro_bench::json;
-
-/// Every figure/table binary that reports through the harness. Keep in
-/// sync with `src/bin/` (the `figure-smoke` CI job runs exactly this
-/// list; `bench_report`, `sweep_demo`, and the gate tools themselves
-/// are not figures).
-pub const EXPECTED_FIGURES: &[&str] = &[
-    "fig1",
-    "fig2a",
-    "fig2b",
-    "fig3",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "ablation_ack_aggregation",
-    "ablation_fig3_buffer",
-    "ablation_nw_lag",
-    "table_baseline_similarity",
-    "aa_calibration",
-    "quantile_effects",
-    "sec5_gradual_deployment",
-    "fleet_design_comparison",
-    "fleet_aggregation_ci",
-    "fleet_telemetry_bias",
-];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if let [_, flag] = args.as_slice() {
+        if flag == "--list" {
+            for (_, bin) in EXPECTED_FIGURES {
+                println!("{bin}");
+            }
+            return ExitCode::SUCCESS;
+        }
+    }
     let [_, dir, out] = args.as_slice() else {
-        eprintln!("usage: figures_merge <json-dir> <out.json>");
+        eprintln!("usage: figures_merge <json-dir> <out.json>  |  figures_merge --list");
         return ExitCode::FAILURE;
     };
     let dir = Path::new(dir);
@@ -61,7 +47,7 @@ fn main() -> ExitCode {
         json::escape(&git_rev())
     ));
     merged.push_str("  \"figures\": {\n");
-    for (i, id) in EXPECTED_FIGURES.iter().enumerate() {
+    for (i, (id, _)) in EXPECTED_FIGURES.iter().enumerate() {
         let path = dir.join(format!("{id}.json"));
         let raw = match std::fs::read_to_string(&path) {
             Ok(s) => s,

@@ -40,6 +40,41 @@ pub const QUICK_STREAM_DAYS: usize = 3;
 /// for both arms of a link-level randomization to show up.
 pub const QUICK_FLEET_LINKS: usize = 16;
 
+/// Every figure/table binary that reports through the harness, as
+/// `(report id, binary name)` — the id is the [`FigureReport`] id (and
+/// the `<id>.json` file stem), the binary name is what
+/// `cargo run --bin` takes. The `figures_merge` gate validates exactly
+/// this set and its `--list` mode prints the binary column for the CI
+/// figure-smoke loop, so registering a figure here is the only step.
+/// Keep in sync with `src/bin/` (`bench_report`, `sweep_demo`, and the
+/// gate tools themselves are not figures).
+pub const EXPECTED_FIGURES: &[(&str, &str)] = &[
+    ("fig1", "fig1_exposure_curves"),
+    ("fig2a", "fig2a_connections"),
+    ("fig2b", "fig2b_pacing"),
+    ("fig3", "fig3_bbr_cubic"),
+    ("fig5", "fig5_effects_table"),
+    ("fig6", "fig6_throughput_timeseries"),
+    ("fig7", "fig7_throughput_cells"),
+    ("fig8", "fig8_minrtt_cells"),
+    ("fig9", "fig9_retransmits_peak"),
+    ("fig10", "fig10_design_comparison"),
+    ("fig11", "fig11_event_study_ts"),
+    ("fig12", "fig12_switchback_ts"),
+    ("fig13", "fig13_aggregation_ci"),
+    ("ablation_ack_aggregation", "ablation_ack_aggregation"),
+    ("ablation_fig3_buffer", "ablation_fig3_buffer"),
+    ("ablation_nw_lag", "ablation_nw_lag"),
+    ("table_baseline_similarity", "table_baseline_similarity"),
+    ("aa_calibration", "aa_calibration"),
+    ("quantile_effects", "quantile_effects"),
+    ("sec5_gradual_deployment", "sec5_gradual_deployment"),
+    ("fleet_design_comparison", "fleet_design_comparison"),
+    ("fleet_aggregation_ci", "fleet_aggregation_ci"),
+    ("fleet_telemetry_bias", "fleet_telemetry_bias"),
+    ("fleet_routing_spillover", "fleet_routing_spillover"),
+];
+
 /// Whether quick mode (`FIG_QUICK=1`) is active.
 pub fn quick() -> bool {
     std::env::var_os("FIG_QUICK").is_some_and(|v| v != "0")

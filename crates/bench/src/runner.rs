@@ -32,6 +32,7 @@ use streamsim::engine::EngineBackend;
 use streamsim::fleet::{
     run_fleet_link_with, FleetDesign, FleetLinkJob, FleetLinkRun, FleetRun, FleetSim, LinkSpec,
 };
+use streamsim::routing::RoutingConfig;
 use streamsim::scenario::AllocationSchedule;
 use streamsim::session::{LinkId, SessionRecord};
 use streamsim::sim::{HourlyLinkStats, LinkSim, PairedSim};
@@ -424,9 +425,52 @@ impl Runner {
         seeds: &[u64],
         backend: EngineBackend,
     ) -> Vec<SeedRun<FleetRun>> {
+        self.sweep_fleet_impl(base, specs, design, None, seeds, backend)
+    }
+
+    /// [`Runner::sweep_fleet`] over a *routed* fleet: every replication
+    /// is built via [`FleetSim::new_routed`], so links share one
+    /// fleet-level arrival stream and each session is routed to one of
+    /// `routing.k` candidate links. Per-link simulation RNG stays
+    /// independent, so the link×seed job list parallelizes exactly like
+    /// the unrouted sweep and results are bit-identical to a sequential
+    /// per-seed run regardless of thread count.
+    pub fn sweep_fleet_routed(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        routing: &RoutingConfig,
+        seeds: &[u64],
+    ) -> Vec<SeedRun<FleetRun>> {
+        self.sweep_fleet_routed_with(base, specs, design, routing, seeds, EngineBackend::Tick)
+    }
+
+    /// [`Runner::sweep_fleet_routed`] on a selected engine backend.
+    pub fn sweep_fleet_routed_with(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        routing: &RoutingConfig,
+        seeds: &[u64],
+        backend: EngineBackend,
+    ) -> Vec<SeedRun<FleetRun>> {
+        self.sweep_fleet_impl(base, specs, design, Some(routing), seeds, backend)
+    }
+
+    fn sweep_fleet_impl(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        routing: Option<&RoutingConfig>,
+        seeds: &[u64],
+        backend: EngineBackend,
+    ) -> Vec<SeedRun<FleetRun>> {
         // Plans and per-link seeds are cheap and deterministic; derive
         // them up front so the parallel phase is pure simulation.
-        let (jobs, per_seed_pairs) = fleet_jobs(base, specs, design, seeds);
+        let (jobs, per_seed_pairs) = fleet_jobs(base, specs, design, routing, seeds);
         let link_runs = self.map(&jobs, |job| run_fleet_link_with(job, backend));
         let mut it = link_runs.into_iter();
         let runs: Vec<SeedRun<FleetRun>> = seeds
@@ -530,8 +574,79 @@ impl Runner {
         faults: Option<&TelemetryFaults>,
         policy: FailurePolicy,
     ) -> Vec<SeedRun<FleetSummary>> {
+        self.sweep_fleet_streaming_impl(
+            base, specs, design, None, seeds, sketch_cap, backend, faults, policy,
+        )
+    }
+
+    /// [`Runner::sweep_fleet_streaming`] over a *routed* fleet (see
+    /// [`Runner::sweep_fleet_routed`]). The same bounded-memory,
+    /// work-stealing bit-identity contract holds: the shared arrival
+    /// stream is materialized deterministically per seed before the
+    /// parallel phase, per-link folds stay wholly within one job, and
+    /// the finalized summaries are bit-identical at any thread count
+    /// (`crates/bench/tests/fleet_routed.rs` asserts 1/2/4 threads).
+    pub fn sweep_fleet_streaming_routed(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        routing: &RoutingConfig,
+        seeds: &[u64],
+        sketch_cap: usize,
+    ) -> Vec<SeedRun<FleetSummary>> {
+        self.sweep_fleet_streaming_routed_with(
+            base,
+            specs,
+            design,
+            routing,
+            seeds,
+            sketch_cap,
+            EngineBackend::Tick,
+        )
+    }
+
+    /// [`Runner::sweep_fleet_streaming_routed`] on a selected engine
+    /// backend.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_fleet_streaming_routed_with(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        routing: &RoutingConfig,
+        seeds: &[u64],
+        sketch_cap: usize,
+        backend: EngineBackend,
+    ) -> Vec<SeedRun<FleetSummary>> {
+        self.sweep_fleet_streaming_impl(
+            base,
+            specs,
+            design,
+            Some(routing),
+            seeds,
+            sketch_cap,
+            backend,
+            None,
+            FailurePolicy::FailFast,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_fleet_streaming_impl(
+        &self,
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        routing: Option<&RoutingConfig>,
+        seeds: &[u64],
+        sketch_cap: usize,
+        backend: EngineBackend,
+        faults: Option<&TelemetryFaults>,
+        policy: FailurePolicy,
+    ) -> Vec<SeedRun<FleetSummary>> {
         let per_seed = specs.len();
-        let (mut jobs, per_seed_pairs) = fleet_jobs(base, specs, design, seeds);
+        let (mut jobs, per_seed_pairs) = fleet_jobs(base, specs, design, routing, seeds);
         if let Some(faults) = faults {
             if let Err(e) = faults.validate() {
                 panic!("sweep_fleet_streaming_policy: invalid faults: {e}");
@@ -645,12 +760,17 @@ fn fleet_jobs(
     base: &StreamConfig,
     specs: &[LinkSpec],
     design: &FleetDesign,
+    routing: Option<&RoutingConfig>,
     seeds: &[u64],
 ) -> (Vec<FleetLinkJob>, Vec<Vec<(usize, usize)>>) {
     let mut per_seed_pairs = Vec::with_capacity(seeds.len());
     let mut jobs: Vec<FleetLinkJob> = Vec::with_capacity(seeds.len() * specs.len());
     for &seed in seeds {
-        let (seed_jobs, pairs) = FleetSim::new(base, specs, design, seed).into_parts();
+        let sim = match routing {
+            None => FleetSim::new(base, specs, design, seed),
+            Some(r) => FleetSim::new_routed(base, specs, design, r, seed),
+        };
+        let (seed_jobs, pairs) = sim.into_parts();
         assert_eq!(
             seed_jobs.len(),
             specs.len(),

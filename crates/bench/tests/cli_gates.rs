@@ -1,0 +1,146 @@
+//! The CI gate binaries, driven end to end as subprocesses: the paths
+//! a green CI run never exercises — warn-but-pass and hard-fail exits —
+//! must be pinned by tests, or a refactor can silently turn a gate into
+//! a no-op.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use repro_bench::figharness::EXPECTED_FIGURES;
+
+/// Fresh scratch directory under the target tmpdir, per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(exe: &str, args: &[&str]) -> Output {
+    Command::new(exe)
+        .args(args)
+        .output()
+        .expect("spawn gate binary")
+}
+
+#[test]
+fn regression_check_warns_but_passes_on_missing_quick_incomparable() {
+    // A quick-incomparable scenario (`fleet_large`) present in the
+    // baseline but absent from a quick-mode report must *warn* on
+    // stderr and still exit 0: its quick workload differs, so there is
+    // no ratio to gate on — but a silent skip would hide a dropped
+    // bench, hence the warning.
+    let dir = scratch("regcheck_warn");
+    let baseline = dir.join("baseline.json");
+    let current = dir.join("current.json");
+    std::fs::write(
+        &baseline,
+        r#"{"scenarios": {"sim_one_day": {"median_s": 0.5}, "fleet_large": {"median_s": 30.0}}}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &current,
+        r#"{"quick": true, "scenarios": {"sim_one_day": {"median_s": 0.5}}}"#,
+    )
+    .unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_regression_check"),
+        &[baseline.to_str().unwrap(), current.to_str().unwrap()],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "gate must pass despite the missing quick-incomparable scenario; stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("warning:") && stderr.contains("fleet_large"),
+        "expected a warning naming the missing scenario, got: {stderr}"
+    );
+}
+
+#[test]
+fn regression_check_fails_on_missing_comparable_scenario() {
+    // The contrast case: a *comparable* scenario missing from the
+    // current report is a hard failure, not a warning.
+    let dir = scratch("regcheck_fail");
+    let baseline = dir.join("baseline.json");
+    let current = dir.join("current.json");
+    std::fs::write(
+        &baseline,
+        r#"{"scenarios": {"sim_one_day": {"median_s": 0.5}}}"#,
+    )
+    .unwrap();
+    std::fs::write(&current, r#"{"quick": true, "scenarios": {}}"#).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_regression_check"),
+        &[baseline.to_str().unwrap(), current.to_str().unwrap()],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "gate must fail; stderr: {stderr}");
+    assert!(
+        stderr.contains("sim_one_day") && stderr.contains("missing"),
+        "expected an error naming the missing scenario, got: {stderr}"
+    );
+}
+
+/// Write a minimal valid report for every expected figure id.
+fn write_all_reports(dir: &std::path::Path) {
+    for (id, _) in EXPECTED_FIGURES {
+        std::fs::write(
+            dir.join(format!("{id}.json")),
+            format!("{{\"id\": \"{id}\"}}\n"),
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn figures_merge_accepts_complete_set_and_rejects_mislabeled_report() {
+    let dir = scratch("figmerge");
+    write_all_reports(&dir);
+    let out_path = dir.join("figures.json");
+    let ok = run(
+        env!("CARGO_BIN_EXE_figures_merge"),
+        &[dir.to_str().unwrap(), out_path.to_str().unwrap()],
+    );
+    assert!(
+        ok.status.success(),
+        "complete report set must merge; stderr: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(out_path.exists(), "merged artifact must be written");
+
+    // Now mislabel one report: the file is valid JSON at the right
+    // path, but its `"id"` names a different figure — the exact shape
+    // of a copy-paste bug in a new figure binary. Hard error.
+    let (first_id, _) = EXPECTED_FIGURES[0];
+    std::fs::write(
+        dir.join(format!("{first_id}.json")),
+        "{\"id\": \"some_other_figure\"}\n",
+    )
+    .unwrap();
+    let bad = run(
+        env!("CARGO_BIN_EXE_figures_merge"),
+        &[dir.to_str().unwrap(), out_path.to_str().unwrap()],
+    );
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        !bad.status.success(),
+        "mislabeled report must fail the merge; stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(first_id) && stderr.contains("some_other_figure"),
+        "expected the mismatch to name both ids, got: {stderr}"
+    );
+}
+
+#[test]
+fn figures_merge_list_prints_every_figure_binary() {
+    // The CI figure-smoke job loops over `--list`; it must emit exactly
+    // the binary column of EXPECTED_FIGURES, one per line.
+    let out = run(env!("CARGO_BIN_EXE_figures_merge"), &["--list"]);
+    assert!(out.status.success());
+    let listed: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    let expected: Vec<&str> = EXPECTED_FIGURES.iter().map(|(_, b)| *b).collect();
+    assert_eq!(listed, expected);
+}

@@ -56,8 +56,17 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable — the same knob the real crate reads, so CI can run
+    /// the weekly deep-fuzz pass (`PROPTEST_CASES=4096`) without
+    /// touching the suites.
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 

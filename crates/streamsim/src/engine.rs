@@ -88,6 +88,7 @@ use crate::abr::Ladder;
 use crate::arena::{SpanArrival, SpanArrivalCtx, SpanResult, SpanStats};
 use crate::config::StreamConfig;
 use crate::demand::DiurnalDemand;
+use crate::routing::RoutedArrival;
 use crate::session::SessionRecord;
 use crate::sim::{HourlyLinkStats, LinkSim};
 use dessim::{EventQueue, SimRng, SimTime};
@@ -209,9 +210,112 @@ fn commit_span(
     sim.now_s = now_end;
 }
 
+/// Cursor over a link's routed arrival stream (sorted by global tick;
+/// see [`crate::routing`]). Consuming an arrival converts the router's
+/// pre-drawn randomness into the span representation: the same
+/// [`SpanArrival`] the demand pre-scan would have produced, with the
+/// peak priced from a clone of the forked stream. The cursor advances
+/// monotonically, so — exactly like the demand RNG — each arrival's
+/// randomness is consumed once, in tick order.
+struct RoutedCursor<'a> {
+    list: &'a [RoutedArrival],
+    next: usize,
+}
+
+impl RoutedCursor<'_> {
+    /// Append every arrival scheduled at global tick `tick` to `out`
+    /// (tagged with span-local tick `span_tick`), returning the summed
+    /// peak demand of the appended arrivals.
+    fn take(
+        &mut self,
+        tick: u64,
+        cfg: &StreamConfig,
+        ladder: &Ladder,
+        span_tick: u32,
+        out: &mut Vec<SpanArrival>,
+    ) -> f64 {
+        let mut add_peak = 0.0;
+        while let Some(a) = self.list.get(self.next) {
+            debug_assert!(a.tick as u64 >= tick, "routed arrival skipped");
+            if a.tick as u64 != tick {
+                break;
+            }
+            let peak = clone_draw_peak(cfg, ladder, &a.rng);
+            add_peak += peak;
+            out.push(SpanArrival {
+                tick: span_tick,
+                treated: a.treated,
+                rng: a.rng.clone(),
+                peak,
+            });
+            self.next += 1;
+        }
+        add_peak
+    }
+}
+
+/// The routed tick driver: the reference loop with the link's arrival
+/// randomness replaced by the router's scheduled stream. Every tick is
+/// [`LinkSim::step_tick_prescanned`] — the verbatim tick body minus the
+/// demand draws — so the link's own RNG is never consumed.
+pub(crate) fn run_tick_routed(
+    mut sim: LinkSim,
+    arrivals: &[RoutedArrival],
+) -> (Vec<SessionRecord>, Vec<HourlyLinkStats>) {
+    let horizon = sim.cfg.horizon_s();
+    let mut cursor = RoutedCursor {
+        list: arrivals,
+        next: 0,
+    };
+    let mut buf: Vec<SpanArrival> = Vec::new();
+    let mut tick = 0u64;
+    while sim.now_s < horizon {
+        buf.clear();
+        cursor.take(tick, &sim.cfg, &sim.ladder, 0, &mut buf);
+        sim.step_tick_prescanned(&buf);
+        tick += 1;
+    }
+    if sim.acc_ticks > 0 {
+        sim.flush_hour();
+    }
+    debug_assert_eq!(cursor.next, arrivals.len(), "unconsumed routed arrivals");
+    (sim.records, sim.hourly)
+}
+
+/// The hybrid driver on a routed arrival stream (see
+/// [`run_event_with`]).
+pub(crate) fn run_event_routed(
+    sim: LinkSim,
+    arrivals: &[RoutedArrival],
+) -> (Vec<SessionRecord>, Vec<HourlyLinkStats>) {
+    run_event_with(
+        sim,
+        Some(RoutedCursor {
+            list: arrivals,
+            next: 0,
+        }),
+    )
+}
+
 /// The hybrid driver behind [`LinkSim::run_with`]
 /// ([`EngineBackend::Event`]).
-pub(crate) fn run_event(mut sim: LinkSim) -> (Vec<SessionRecord>, Vec<HourlyLinkStats>) {
+pub(crate) fn run_event(sim: LinkSim) -> (Vec<SessionRecord>, Vec<HourlyLinkStats>) {
+    run_event_with(sim, None)
+}
+
+/// The hybrid tick/event driver, generic over where arrival randomness
+/// comes from: `routed = None` draws the link's own demand process from
+/// `sim.rng` (the pre-routing behavior, byte-for-byte); `Some(cursor)`
+/// consumes a routed arrival stream instead and leaves `sim.rng`
+/// untouched. The span machinery is identical either way because both
+/// sources observe the same contract — each tick's arrival randomness
+/// is materialized exactly once, in strictly increasing tick order
+/// (the span-cap break consumes nothing, and the rollback tail replays
+/// the already-materialized `folded` arrivals).
+fn run_event_with(
+    mut sim: LinkSim,
+    mut routed: Option<RoutedCursor<'_>>,
+) -> (Vec<SessionRecord>, Vec<HourlyLinkStats>) {
     let horizon = sim.cfg.horizon_s();
     let dt = sim.cfg.dt_s;
     let capacity = sim.link.capacity_bps();
@@ -226,6 +330,8 @@ pub(crate) fn run_event(mut sim: LinkSim) -> (Vec<SessionRecord>, Vec<HourlyLink
     // order), and the terminator tick's own unfoldable arrivals.
     let mut folded: Vec<SpanArrival> = Vec::new();
     let mut carry: Vec<SpanArrival> = Vec::new();
+    // Scratch for routed coupled ticks (one tick's arrivals at a time).
+    let mut coupled_buf: Vec<SpanArrival> = Vec::new();
     // Rollback backoff state (see [`BACKOFF_INITIAL_TICKS`]): run
     // `coupled_countdown` more ticks coupled before retrying optimism,
     // doubling `backoff` on each repeated failure; both reset when the
@@ -287,7 +393,15 @@ pub(crate) fn run_event(mut sim: LinkSim) -> (Vec<SessionRecord>, Vec<HourlyLink
             }
         };
         let Some((validate, mut total_peak)) = mode else {
-            sim.step();
+            match routed.as_mut() {
+                None => sim.step(),
+                Some(cursor) => {
+                    let tick = (sim.now_s / dt).round() as u64;
+                    coupled_buf.clear();
+                    cursor.take(tick, &sim.cfg, &sim.ladder, 0, &mut coupled_buf);
+                    sim.step_tick_prescanned(&coupled_buf);
+                }
+            }
             continue;
         };
 
@@ -308,6 +422,10 @@ pub(crate) fn run_event(mut sim: LinkSim) -> (Vec<SessionRecord>, Vec<HourlyLink
             None => usize::MAX,
         };
         let p = sim.schedule.allocation(day);
+        // Global tick index of the span's first tick, for the routed
+        // cursor (dt is added repeatedly to `now_s`, so rounding absorbs
+        // the accumulated ulps — far below half a tick over any horizon).
+        let tick0 = (sim.now_s / dt).round() as u64;
         nows.clear();
         nows.push(sim.now_s);
         folded.clear();
@@ -327,18 +445,33 @@ pub(crate) fn run_event(mut sim: LinkSim) -> (Vec<SessionRecord>, Vec<HourlyLink
                 // which differs from the span's at midnight; FIFO
                 // tie-breaking at equal times runs the flush first, as
                 // the tick loop does.
-                let pb = sim.schedule.allocation(d);
-                let n = sim.demand.arrivals(t, dt, &mut sim.rng);
-                for _ in 0..n {
-                    let treated = sim.rng.bernoulli(pb);
-                    let rng = sim.rng.fork();
-                    let peak = clone_draw_peak(&sim.cfg, &sim.ladder, &rng);
-                    carry.push(SpanArrival {
-                        tick: k as u32,
-                        treated,
-                        rng,
-                        peak,
-                    });
+                match routed.as_mut() {
+                    None => {
+                        let pb = sim.schedule.allocation(d);
+                        let n = sim.demand.arrivals(t, dt, &mut sim.rng);
+                        for _ in 0..n {
+                            let treated = sim.rng.bernoulli(pb);
+                            let rng = sim.rng.fork();
+                            let peak = clone_draw_peak(&sim.cfg, &sim.ladder, &rng);
+                            carry.push(SpanArrival {
+                                tick: k as u32,
+                                treated,
+                                rng,
+                                peak,
+                            });
+                        }
+                    }
+                    Some(cursor) => {
+                        // The router already drew the boundary tick's
+                        // arm Bernoullis with *its* day's allocation.
+                        cursor.take(
+                            tick0 + k as u64,
+                            &sim.cfg,
+                            &sim.ladder,
+                            k as u32,
+                            &mut carry,
+                        );
+                    }
                 }
                 events.push(SimTime::from_nanos(k as u64), MacroEvent::Arrivals);
                 break;
@@ -349,22 +482,34 @@ pub(crate) fn run_event(mut sim: LinkSim) -> (Vec<SessionRecord>, Vec<HourlyLink
                 // it at the same stream position. No terminator event.
                 break;
             }
-            let n = sim.demand.arrivals(t, dt, &mut sim.rng);
-            if n > 0 {
-                let mark = folded.len();
-                let mut add_peak = 0.0;
-                for _ in 0..n {
-                    let treated = sim.rng.bernoulli(p);
-                    let rng = sim.rng.fork();
-                    let peak = clone_draw_peak(&sim.cfg, &sim.ladder, &rng);
-                    add_peak += peak;
-                    folded.push(SpanArrival {
-                        tick: k as u32,
-                        treated,
-                        rng,
-                        peak,
-                    });
+            let mark = folded.len();
+            let add_peak = match routed.as_mut() {
+                None => {
+                    let n = sim.demand.arrivals(t, dt, &mut sim.rng);
+                    let mut add = 0.0;
+                    for _ in 0..n {
+                        let treated = sim.rng.bernoulli(p);
+                        let rng = sim.rng.fork();
+                        let peak = clone_draw_peak(&sim.cfg, &sim.ladder, &rng);
+                        add += peak;
+                        folded.push(SpanArrival {
+                            tick: k as u32,
+                            treated,
+                            rng,
+                            peak,
+                        });
+                    }
+                    add
                 }
+                Some(cursor) => cursor.take(
+                    tick0 + k as u64,
+                    &sim.cfg,
+                    &sim.ladder,
+                    k as u32,
+                    &mut folded,
+                ),
+            };
+            if folded.len() > mark {
                 if total_peak + add_peak > fold_bound {
                     // Unfoldable burst: these arrivals terminate the
                     // span and run coupled as the terminator tick.
@@ -473,6 +618,9 @@ pub(crate) fn run_event(mut sim: LinkSim) -> (Vec<SessionRecord>, Vec<HourlyLink
     }
     if sim.acc_ticks > 0 {
         sim.flush_hour();
+    }
+    if let Some(cursor) = &routed {
+        debug_assert_eq!(cursor.next, cursor.list.len(), "unconsumed routed arrivals");
     }
     (sim.records, sim.hourly)
 }

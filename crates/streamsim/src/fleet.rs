@@ -23,18 +23,24 @@
 //!   `repro_bench::Runner::sweep_fleet` does exactly that, bit-identical
 //!   to the sequential [`FleetSim::run`].
 //!
-//! Cross-link *statistical* coupling (a session choosing between links)
-//! is deliberately out of scope: the paper's unit of congestion is one
-//! bottleneck, and its cluster designs randomize whole links precisely
-//! because sessions do not migrate between them.
+//! Cross-link *statistical* coupling — a session choosing between
+//! links — is the [`FleetSim::new_routed`] mode: a shared, seeded
+//! arrival stream ([`crate::routing`]) routes each session to one of k
+//! candidate links, re-introducing the spillover *between clusters*
+//! that real CDN routing creates. Per-link simulation RNG streams stay
+//! independent either way, and the unrouted constructor consumes
+//! exactly the pre-routing draw sequence, so unrouted fleets are
+//! bit-identical to the engine before the routing layer existed.
 
 use crate::config::StreamConfig;
 use crate::engine::EngineBackend;
+use crate::routing::{self, RoutedArrival, RoutingConfig};
 use crate::scenario::AllocationSchedule;
 use crate::session::{LinkId, SessionRecord};
 use crate::sim::{HourlyLinkStats, LinkSim};
 use crate::telemetry::{TelemetryFaults, TelemetryStats};
 use dessim::SimRng;
+use std::sync::Arc;
 
 /// One sampled link of the fleet: heterogeneity multipliers relative to
 /// the population's base [`StreamConfig`] plus the absolute fields they
@@ -375,6 +381,11 @@ pub struct FleetLinkJob {
     /// collection. The fault RNG derives from the fault seed and link
     /// index only, never from [`FleetLinkJob::seed`].
     pub faults: Option<TelemetryFaults>,
+    /// This link's slice of the shared routed arrival stream
+    /// ([`FleetSim::new_routed`]); `None` = the link draws its own
+    /// arrivals from [`FleetLinkJob::seed`]. Shared so cloning jobs for
+    /// a parallel sweep does not duplicate the stream.
+    pub routed: Option<Arc<Vec<RoutedArrival>>>,
 }
 
 /// One link's outcome within a fleet run.
@@ -392,6 +403,10 @@ pub struct FleetLinkRun {
     /// allocation over the run's days) — the denominator side of the
     /// sample-ratio-mismatch guardrail.
     pub expected_allocation: f64,
+    /// The allocation schedule the link actually ran (carried so
+    /// temporal estimators — switchbacks with carryover burn-in — can
+    /// reconstruct each day's arm without re-deriving the plan).
+    pub schedule: AllocationSchedule,
     /// Session records as *delivered* by the telemetry pipeline (equal
     /// to the simulator's output when the job carries no faults).
     pub sessions: Vec<SessionRecord>,
@@ -437,7 +452,10 @@ pub fn run_fleet_link_with(job: &FleetLinkJob, backend: EngineBackend) -> FleetL
         );
     }
     let sim = LinkSim::new(job.cfg.clone(), LinkId::One, job.schedule.clone(), job.seed);
-    let (sessions, hourly) = sim.run_with(backend);
+    let (sessions, hourly) = match &job.routed {
+        None => sim.run_with(backend),
+        Some(arrivals) => sim.run_routed(arrivals, backend),
+    };
     let days = job.cfg.days.max(1);
     let expected_allocation =
         (0..days).map(|d| job.schedule.allocation(d)).sum::<f64>() / days as f64;
@@ -454,6 +472,7 @@ pub fn run_fleet_link_with(job: &FleetLinkJob, backend: EngineBackend) -> FleetL
         treated_cluster: job.treated_cluster,
         offered_load: job.offered_load,
         expected_allocation,
+        schedule: job.schedule.clone(),
         sessions,
         hourly,
         telemetry,
@@ -488,6 +507,21 @@ impl FleetSim {
         design: &FleetDesign,
         seed: u64,
     ) -> FleetSim {
+        FleetSim::build(base, specs, design, seed).0
+    }
+
+    /// The shared constructor body: builds the fleet exactly as the
+    /// unrouted path always has (same draw sequence from `seed`) and
+    /// also returns the root RNG so [`FleetSim::new_routed`] can derive
+    /// the router's stream as *additional* draws — the unrouted
+    /// sequence is a strict prefix, which is what the golden
+    /// bit-identity oracle pins.
+    fn build(
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        seed: u64,
+    ) -> (FleetSim, SimRng) {
         assert!(!specs.is_empty(), "fleet must have at least one link");
         for spec in specs {
             if let Err(e) = spec.validate() {
@@ -515,13 +549,47 @@ impl FleetSim {
                     offered_load: spec.offered_load_index(base),
                     seed: root.next_u64(),
                     faults: None,
+                    routed: None,
                 }
             })
             .collect();
-        FleetSim {
-            jobs,
-            pairs: plan.pairs,
+        (
+            FleetSim {
+                jobs,
+                pairs: plan.pairs,
+            },
+            root,
+        )
+    }
+
+    /// Build a *routed* fleet world: the same plan and per-link seeds as
+    /// [`FleetSim::new`], plus a shared arrival stream routed across the
+    /// links by `routing` (see [`crate::routing`]). The router's seed is
+    /// one extra draw from the root stream, taken *after* every per-link
+    /// seed, so the assignment and link seeds match the unrouted fleet
+    /// for the same `seed` — only where sessions arrive changes.
+    ///
+    /// Panics on an invalid [`RoutingConfig`] (plus everything
+    /// [`FleetSim::new`] panics on).
+    pub fn new_routed(
+        base: &StreamConfig,
+        specs: &[LinkSpec],
+        design: &FleetDesign,
+        routing: &RoutingConfig,
+        seed: u64,
+    ) -> FleetSim {
+        if let Err(e) = routing.validate() {
+            panic!("FleetSim::new_routed: {e}");
         }
+        let (mut fleet, mut root) = FleetSim::build(base, specs, design, seed);
+        let router_seed = root.next_u64();
+        let schedules: Vec<AllocationSchedule> =
+            fleet.jobs.iter().map(|job| job.schedule.clone()).collect();
+        let streams = routing::route_fleet(base, specs, &schedules, routing, router_seed);
+        for (job, stream) in fleet.jobs.iter_mut().zip(streams) {
+            job.routed = Some(Arc::new(stream));
+        }
+        fleet
     }
 
     /// Attach a telemetry fault model to every link job. The sim seeds
@@ -777,6 +845,107 @@ mod tests {
                 l.link
             );
             assert_eq!(l.hourly.len(), 24);
+        }
+    }
+
+    /// Order-sensitive bitwise fingerprint of every record field, per
+    /// link — the oracle the routed parity tests compare on.
+    fn record_fingerprint(run: &FleetRun) -> Vec<(usize, u64)> {
+        run.links
+            .iter()
+            .map(|l| {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                let mut fold = |bits: u64| {
+                    h ^= bits;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                };
+                for r in &l.sessions {
+                    fold(r.day as u64);
+                    fold(r.hour as u64);
+                    fold(u64::from(r.treated));
+                    fold(r.arrival_s.to_bits());
+                    fold(r.throughput_bps.to_bits());
+                    fold(r.min_rtt_s.to_bits());
+                    fold(r.play_delay_s.to_bits());
+                    fold(r.bitrate_bps.to_bits());
+                    fold(r.quality.to_bits());
+                    fold(r.bytes.to_bits());
+                    fold(r.retx_bytes.to_bits());
+                    fold(u64::from(r.switches));
+                    fold(r.duration_s.to_bits());
+                }
+                (l.sessions.len(), h)
+            })
+            .collect()
+    }
+
+    fn routing_cfg(policy: crate::routing::RoutingPolicy, k: usize) -> RoutingConfig {
+        RoutingConfig::new(policy, k)
+    }
+
+    #[test]
+    fn routed_fleet_is_deterministic_and_produces_sessions() {
+        let base = small_base();
+        let specs = small_pop(4).sample();
+        let design = FleetDesign::LinkLevel {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        let routing = routing_cfg(crate::routing::RoutingPolicy::LeastLoad, 2);
+        let a = FleetSim::new_routed(&base, &specs, &design, &routing, 42).run();
+        let b = FleetSim::new_routed(&base, &specs, &design, &routing, 42).run();
+        assert_eq!(record_fingerprint(&a), record_fingerprint(&b));
+        assert!(a.total_sessions() > 100, "routed fleet too quiet");
+        // Routing redistributes the same superposed demand, so the
+        // fleet-wide session count stays in the unrouted ballpark.
+        let unrouted = FleetSim::new(&base, &specs, &design, 42).run();
+        let (ra, ru) = (a.total_sessions() as f64, unrouted.total_sessions() as f64);
+        assert!(
+            (ra / ru - 1.0).abs() < 0.25,
+            "routed {ra} vs unrouted {ru} sessions"
+        );
+    }
+
+    #[test]
+    fn routed_fleet_tick_event_parity() {
+        let base = small_base();
+        let specs = small_pop(4).sample();
+        let design = FleetDesign::LinkLevel {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        for policy in crate::routing::RoutingPolicy::ALL {
+            let routing = routing_cfg(policy, 3);
+            let tick = FleetSim::new_routed(&base, &specs, &design, &routing, 77)
+                .run_with(EngineBackend::Tick);
+            let event = FleetSim::new_routed(&base, &specs, &design, &routing, 77)
+                .run_with(EngineBackend::Event);
+            assert_eq!(
+                record_fingerprint(&tick),
+                record_fingerprint(&event),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_seed_discipline_is_a_prefix_of_unrouted() {
+        // Same seed ⇒ same assignment and same per-link sim seeds; the
+        // router stream is an extra draw, never an insertion.
+        let base = small_base();
+        let specs = small_pop(5).sample();
+        let design = FleetDesign::LinkLevel {
+            p_hi: 0.95,
+            p_lo: 0.05,
+        };
+        let routing = routing_cfg(crate::routing::RoutingPolicy::WeightedRandom, 2);
+        let unrouted = FleetSim::new(&base, &specs, &design, 9);
+        let routed = FleetSim::new_routed(&base, &specs, &design, &routing, 9);
+        for (u, r) in unrouted.jobs().iter().zip(routed.jobs()) {
+            assert_eq!(u.seed, r.seed, "link {} sim seed", u.link);
+            assert_eq!(u.treated_cluster, r.treated_cluster, "link {} arm", u.link);
+            assert!(u.routed.is_none());
+            assert!(r.routed.is_some());
         }
     }
 

@@ -20,7 +20,12 @@
 //!   paper measures;
 //! * two statistically similar links run side by side with configurable
 //!   imbalance (including the link-1 rebuffer quirk reported in §4.1) —
-//!   [`sim::PairedSim`].
+//!   [`sim::PairedSim`];
+//! * a whole fleet of links ([`fleet`]) can additionally share one
+//!   *routed* arrival stream ([`routing`]): each session chooses among
+//!   k candidate links, which couples clusters through the router — the
+//!   cross-cluster interference channel the fleet designs are
+//!   stress-tested against.
 //!
 //! Outputs are per-session records ([`session::SessionRecord`]) carrying
 //! every §4 metric; the `unbiased` crate's designs and analyses consume
@@ -37,6 +42,7 @@ pub mod demand;
 pub mod engine;
 pub mod fleet;
 pub mod link;
+pub mod routing;
 pub mod scenario;
 pub mod session;
 pub mod sim;
@@ -46,6 +52,7 @@ pub use arena::ClientArena;
 pub use config::StreamConfig;
 pub use engine::EngineBackend;
 pub use fleet::{FleetDesign, FleetRun, FleetSim, LinkPopulation, LinkSpec};
+pub use routing::{RoutedArrival, RoutingConfig, RoutingPolicy};
 pub use scenario::AllocationSchedule;
 pub use session::SessionRecord;
 pub use sim::{LinkSim, PairedSim};

@@ -342,6 +342,22 @@ impl LinkSim {
             EngineBackend::Event => crate::engine::run_event(self),
         }
     }
+
+    /// Run to the horizon consuming an externally routed arrival stream
+    /// (see [`crate::routing`]) instead of the link's own demand
+    /// process. The link's RNG is never consumed — session randomness
+    /// rides in on the router's forked streams — so per-link simulation
+    /// state stays independent of every other link.
+    pub(crate) fn run_routed(
+        self,
+        arrivals: &[crate::routing::RoutedArrival],
+        backend: EngineBackend,
+    ) -> (Vec<SessionRecord>, Vec<HourlyLinkStats>) {
+        match backend {
+            EngineBackend::Tick => crate::engine::run_tick_routed(self, arrivals),
+            EngineBackend::Event => crate::engine::run_event_routed(self, arrivals),
+        }
+    }
 }
 
 /// The paired-link world: two statistically similar links driven by

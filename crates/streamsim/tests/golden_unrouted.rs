@@ -1,0 +1,81 @@
+//! Golden bit-identity oracle for the *unrouted* fleet path.
+//!
+//! The routed arrival layer must not perturb the existing per-link
+//! independent-RNG-stream model: an unrouted `FleetSim` has to produce
+//! bit-for-bit the output it produced before the routing layer existed.
+//! The fingerprints below were captured from the pre-routing tree; any
+//! change to them means the unrouted path consumed randomness
+//! differently, which is a correctness regression, not a tuning knob.
+
+use streamsim::fleet::LinkPopulation;
+use streamsim::{EngineBackend, FleetDesign, FleetSim, StreamConfig};
+
+/// FNV-1a over the bit patterns of every field of every record, in
+/// record order, per link — order-sensitive on purpose.
+fn fleet_fingerprint(backend: EngineBackend) -> Vec<(usize, u64)> {
+    let base = StreamConfig {
+        days: 1,
+        capacity_bps: 30e6,
+        peak_arrivals_per_s: 0.24 * 0.03,
+        mean_watch_s: 1500.0,
+        ..StreamConfig::default()
+    };
+    let specs = LinkPopulation::moderate(base.clone(), 6, 99).sample();
+    let design = FleetDesign::LinkLevel {
+        p_hi: 0.95,
+        p_lo: 0.05,
+    };
+    let run = FleetSim::new(&base, &specs, &design, 4242).run_with(backend);
+    run.links
+        .iter()
+        .map(|l| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut fold = |bits: u64| {
+                h ^= bits;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            for r in &l.sessions {
+                fold(r.day as u64);
+                fold(r.hour as u64);
+                fold(u64::from(r.weekend));
+                fold(u64::from(r.treated));
+                fold(r.arrival_s.to_bits());
+                fold(r.throughput_bps.to_bits());
+                fold(r.min_rtt_s.to_bits());
+                fold(r.play_delay_s.to_bits());
+                fold(r.bitrate_bps.to_bits());
+                fold(r.quality.to_bits());
+                fold(u64::from(r.rebuffer_count));
+                fold(u64::from(r.rebuffered));
+                fold(u64::from(r.cancelled));
+                fold(r.bytes.to_bits());
+                fold(r.retx_bytes.to_bits());
+                fold(u64::from(r.switches));
+                fold(r.duration_s.to_bits());
+            }
+            (l.sessions.len(), h)
+        })
+        .collect()
+}
+
+/// Pinned from the pre-routing tree (seed 4242, 6 links, 1 day); both
+/// engine backends produced this exact sequence.
+const GOLDEN: &[(usize, u64)] = &[
+    (172, 10554555751685637845),
+    (418, 10044311625472744327),
+    (254, 9796580364085095406),
+    (153, 8636536805496112193),
+    (328, 2437992545112592698),
+    (633, 14261223267095498218),
+];
+
+#[test]
+fn unrouted_fleet_matches_pre_routing_golden() {
+    for (backend, name) in [
+        (EngineBackend::Tick, "tick"),
+        (EngineBackend::Event, "event"),
+    ] {
+        let got = fleet_fingerprint(backend);
+        assert_eq!(got.as_slice(), GOLDEN, "{name} backend drifted from golden");
+    }
+}

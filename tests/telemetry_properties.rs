@@ -99,6 +99,7 @@ fn summarize(sessions: Vec<SessionRecord>) -> FleetLinkSummary {
         treated_cluster: None,
         offered_load: 1.0,
         expected_allocation: 0.5,
+        schedule: streamsim::scenario::AllocationSchedule::Constant(0.5),
         sessions,
         hourly: Vec::new(),
         telemetry: TelemetryStats {
